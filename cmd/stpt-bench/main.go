@@ -1,0 +1,189 @@
+// Command stpt-bench regenerates the paper's tables and figures. Each
+// experiment prints the same rows or series the paper plots.
+//
+// Usage:
+//
+//	stpt-bench -exp fig6 -scale quick
+//	stpt-bench -exp all -scale bench
+//	stpt-bench -exp fig6-single -dataset CER -layout uniform
+//
+// Scales: quick (seconds, small grid), bench (paper grid, reduced nets),
+// paper (full Appendix C testbed; hours on CPU).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table2|fig6|fig6-single|fig7|fig8ab|fig8c|fig8d|fig8ef|fig8g|fig8h|fig8i|fig9|ablations|ldp|extended|all")
+		scale   = flag.String("scale", "quick", "scale: quick|bench|paper")
+		dataset = flag.String("dataset", "CER", "dataset for fig6-single: CER|CA|MI|TX")
+		layout  = flag.String("layout", "uniform", "layout for fig6-single: uniform|normal|losangeles")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		reps    = flag.Int("reps", 0, "override repetition count (0 keeps the scale default)")
+	)
+	flag.Parse()
+
+	var opts experiments.Options
+	switch *scale {
+	case "quick":
+		opts = experiments.Quick()
+	case "bench":
+		opts = experiments.Bench()
+	case "paper":
+		opts = experiments.Paper()
+	default:
+		fatalf("unknown scale %q", *scale)
+	}
+	opts.Seed = *seed
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+
+	w := os.Stdout
+	start := time.Now()
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("table2", func() error {
+		experiments.PrintTable2(w, experiments.RunTable2(opts))
+		return nil
+	})
+	run("fig9", func() error {
+		experiments.PrintFig9(w, experiments.RunFig9(opts))
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := experiments.RunFig6(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6(w, rows)
+		return nil
+	})
+	run("fig6-single", func() error {
+		spec, err := datasets.ByName(*dataset)
+		if err != nil {
+			return err
+		}
+		lay, err := datasets.ParseLayout(*layout)
+		if err != nil {
+			return err
+		}
+		row, err := experiments.RunFig6Single(opts, spec, lay)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6(w, []experiments.Fig6Row{row})
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := experiments.RunFig7(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7(w, rows)
+		return nil
+	})
+	run("fig8ab", func() error {
+		pts, err := experiments.RunFig8PatternBudget(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweepPattern(w, "Figure 8(a,b): pattern error vs per-datapoint budget", pts)
+		return nil
+	})
+	run("fig8c", func() error {
+		pts, err := experiments.RunFig8Quantization(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweepMRE(w, "Figure 8(c): impact of quantization levels", pts)
+		return nil
+	})
+	run("fig8d", func() error {
+		rows, err := experiments.RunFig8Runtime(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintRuntimes(w, rows)
+		return nil
+	})
+	run("fig8ef", func() error {
+		pts, err := experiments.RunFig8TreeDepth(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweepPattern(w, "Figure 8(e,f): pattern error vs quadtree depth", pts)
+		return nil
+	})
+	run("fig8g", func() error {
+		pts, err := experiments.RunFig8BudgetSplit(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweepMRE(w, "Figure 8(g): budget share for pattern recognition", pts)
+		return nil
+	})
+	run("fig8h", func() error {
+		pts, err := experiments.RunFig8TotalBudget(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweepMRE(w, "Figure 8(h): total privacy budget", pts)
+		return nil
+	})
+	run("fig8i", func() error {
+		pts, err := experiments.RunFig8Models(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSweepMRE(w, "Figure 8(i): distinct ML models", pts)
+		return nil
+	})
+	run("ldp", func() error {
+		rows, err := experiments.RunLDPExtension(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintLDPExtension(w, rows)
+		return nil
+	})
+	run("extended", func() error {
+		rows, err := experiments.RunExtended(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintExtended(w, rows)
+		return nil
+	})
+	run("ablations", func() error {
+		rows, err := experiments.RunAblations(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblations(w, rows)
+		return nil
+	})
+
+	fmt.Fprintf(w, "done in %s (scale %s, exp %s)\n", time.Since(start).Round(time.Millisecond), *scale, *exp)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stpt-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseModel(t *testing.T) {
+	for _, name := range []string{"rnn", "gru", "lstm", "attentive-gru", "transformer", "persistence"} {
+		k, err := parseModel(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k.String() != name {
+			t.Fatalf("parseModel(%q) = %v", name, k)
+		}
+	}
+	if _, err := parseModel("nope"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}

@@ -1,0 +1,51 @@
+// Modelzoo compares the pattern-recognition predictors of Figure 8(i):
+// RNN, GRU, LSTM, attention+GRU (the STPT default) and a transformer —
+// plus the model-free persistence ablation — on the same dataset, budget
+// and partitioning, reporting both pattern error and end-to-end query MRE.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/stpt"
+)
+
+func main() {
+	data := stpt.GenerateDataset(stpt.SpecMI, stpt.LayoutUniform, 16, 16, 88, 11)
+
+	base := stpt.DefaultConfig()
+	base.TTrain = 40
+	base.Depth = 3
+	base.WindowSize = 4
+	base.EmbedDim = 8
+	base.Hidden = 8
+	base.Train.Epochs = 6
+	base.ClipFactor = stpt.SpecMI.ClipFactor
+
+	kinds := []stpt.ModelKind{
+		stpt.ModelRNN,
+		stpt.ModelGRU,
+		stpt.ModelLSTM,
+		stpt.ModelAttentiveGRU,
+		stpt.ModelTransformer,
+		stpt.ModelPersistence,
+	}
+	fmt.Printf("%-15s %10s %10s %14s %10s\n", "model", "MAE", "RMSE", "random MRE%", "seconds")
+	for _, kind := range kinds {
+		cfg := base
+		cfg.Model = kind
+		start := time.Now()
+		res, err := stpt.Run(data, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mre := stpt.EvaluateMRE(res.Truth, res.Sanitized, stpt.QueryRandom, 200, 13)
+		fmt.Printf("%-15s %10.4f %10.4f %14.2f %10.2f\n",
+			kind.String(), res.PatternMAE, res.PatternRMSE, mre, time.Since(start).Seconds())
+	}
+	fmt.Println()
+	fmt.Println("the learned predictors should beat persistence on pattern error, and the")
+	fmt.Println("attention/transformer variants typically edge out the plain RNN (Figure 8(i)).")
+}

@@ -1,0 +1,141 @@
+// Package core implements STPT (Spatio-Temporal Private Timeseries),
+// Algorithm 1 of the paper: a pattern-recognition phase that privately
+// trains a sequence model on a hierarchically sanitised quadtree of the
+// training prefix, followed by a sanitisation phase that k-quantizes the
+// predicted pattern matrix into homogeneous partitions and releases
+// Laplace-sanitised partition aggregates.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// ModelKind selects the pattern-recognition network (Figure 8(i)).
+type ModelKind int
+
+const (
+	// ModelRNN is a vanilla Elman RNN — the paper's base design.
+	ModelRNN ModelKind = iota
+	// ModelGRU is a gated recurrent unit.
+	ModelGRU
+	// ModelLSTM is a long short-term memory network.
+	ModelLSTM
+	// ModelAttentiveGRU is self-attention feeding a GRU — the unit the
+	// paper's Appendix C describes and the STPT default.
+	ModelAttentiveGRU
+	// ModelTransformer is a one-block transformer encoder.
+	ModelTransformer
+	// ModelPersistence is the model-free ablation: the pattern matrix
+	// repeats each cell's last sanitised training value.
+	ModelPersistence
+)
+
+// String names the model kind.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelRNN:
+		return "rnn"
+	case ModelGRU:
+		return "gru"
+	case ModelLSTM:
+		return "lstm"
+	case ModelAttentiveGRU:
+		return "attentive-gru"
+	case ModelTransformer:
+		return "transformer"
+	case ModelPersistence:
+		return "persistence"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// Config holds every STPT knob. Zero values are invalid; use
+// DefaultConfig and override.
+type Config struct {
+	// Privacy budgets (Eq. 7): ε_tot = EpsPattern + EpsSanitize.
+	EpsPattern  float64
+	EpsSanitize float64
+
+	// TTrain is the training prefix length; the remaining T - TTrain
+	// readings form the released horizon.
+	TTrain int
+	// Depth is the quadtree depth (levels 0..Depth).
+	Depth int
+	// WindowSize is the sliding-window length ws.
+	WindowSize int
+	// QuantLevels is k, the number of quantization buckets (Def. 4).
+	QuantLevels int
+	// Quant selects linear (Def. 4 verbatim) or log-domain buckets.
+	Quant QuantMode
+
+	// ClipFactor caps each reading before normalisation (Table 2's
+	// sensitivity clipping factor). <= 0 disables clipping.
+	ClipFactor float64
+
+	// Model selects the predictor; EmbedDim/Hidden size it.
+	Model    ModelKind
+	EmbedDim int
+	Hidden   int
+	Train    nn.TrainConfig
+	LR       float64
+
+	// Seed makes the whole run reproducible.
+	Seed int64
+
+	// Ablation switches (DESIGN.md §5).
+	FlatTraining  bool // sanitise per-cell training pillars instead of the quadtree
+	UniformBudget bool // uniform per-partition budget instead of Theorem 8
+	NoPartitions  bool // skip k-quantization: per-cell release of the horizon
+	RawSeeds      bool // skip hierarchical empirical-Bayes denoising of rollout seeds
+}
+
+// DefaultConfig mirrors the paper's experimental testbed (Appendix C),
+// with network sizes scaled down to CPU-friendly defaults; the bench
+// harness can restore embed 128 / hidden 64.
+func DefaultConfig() Config {
+	return Config{
+		EpsPattern:  10,
+		EpsSanitize: 20,
+		TTrain:      100,
+		Depth:       5,
+		WindowSize:  6,
+		QuantLevels: 16,
+		Model:       ModelAttentiveGRU,
+		EmbedDim:    16,
+		Hidden:      16,
+		Train:       nn.TrainConfig{Epochs: 20, BatchSize: 32, ClipNorm: 5},
+		LR:          1e-3,
+		Seed:        1,
+	}
+}
+
+// Validate rejects structurally impossible configurations.
+func (c Config) Validate() error {
+	if c.EpsPattern <= 0 || c.EpsSanitize <= 0 {
+		return fmt.Errorf("core: budgets must be positive (pattern %v, sanitize %v)", c.EpsPattern, c.EpsSanitize)
+	}
+	if c.TTrain <= 0 {
+		return fmt.Errorf("core: TTrain %d must be positive", c.TTrain)
+	}
+	if c.WindowSize <= 0 {
+		return fmt.Errorf("core: window size %d must be positive", c.WindowSize)
+	}
+	if c.QuantLevels <= 0 && !c.NoPartitions {
+		return fmt.Errorf("core: quantization levels %d must be positive", c.QuantLevels)
+	}
+	if c.Model != ModelPersistence {
+		if c.EmbedDim <= 0 || c.Hidden <= 0 {
+			return fmt.Errorf("core: embed %d and hidden %d must be positive", c.EmbedDim, c.Hidden)
+		}
+		if c.Train.Epochs <= 0 || c.Train.BatchSize <= 0 || c.LR <= 0 {
+			return fmt.Errorf("core: invalid training config")
+		}
+	}
+	return nil
+}
+
+// EpsTotal returns ε_tot = ε_pattern + ε_sanitize (Eq. 7).
+func (c Config) EpsTotal() float64 { return c.EpsPattern + c.EpsSanitize }

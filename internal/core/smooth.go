@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/quadtree"
+)
+
+// smoothedTree is the hierarchical empirical-Bayes denoising of a
+// sanitised quadtree. It is pure post-processing of DP outputs
+// (Theorem 3), so it costs no budget.
+//
+// The raw sanitised series are unusable at fine levels: at the leaf the
+// Laplace scale is TTrain/ε_pattern (sensitivity 1), an order of magnitude
+// above the signal, so a model trained on them learns to ignore its input
+// and predict the global mean — collapsing every cell's rollout to the
+// same value. The shrinkage model factorises each neighbourhood's series
+// as
+//
+//	est(n, t) = g_l(t) · B_l(n)
+//
+// where g_l(t) — the mean over all 4^l neighbourhoods at time t — is a
+// near-noiseless temporal profile (averaging 4^l independent noise draws),
+// and B_l(n) is a spatial factor combined over levels 0..l: each level
+// contributes its neighbourhood's relative level r = mean(series)/mean(g),
+// weighted by how much of the observed cross-neighbourhood variance is
+// signal rather than Laplace noise (an empirical-Bayes weight computed
+// from the known noise variance). Coarse levels anchor the estimate; fine
+// levels sharpen it only where their signal-to-noise supports it.
+type smoothedTree struct {
+	// Est holds per-cell denoised training series (Cx x Cy x TTrain).
+	Est *grid.Matrix
+	// Corpus holds one denoised series per neighbourhood per level, in
+	// tree order, for model training.
+	Corpus [][]float64
+}
+
+// smoothTree denoises the sanitised tree.
+func smoothTree(tree *quadtree.Tree, cx, cy, tTrain int, epsPattern float64) *smoothedTree {
+	perStep := epsPattern / float64(tTrain)
+
+	// Spatial factor per cell, refined level by level. Within a level-l
+	// block every cell shares the same factor (the partitions are nested).
+	b := make([]float64, cx*cy)
+	for i := range b {
+		b[i] = 1
+	}
+
+	out := &smoothedTree{Est: grid.NewMatrix(cx, cy, tTrain)}
+	for _, lvl := range tree.Levels {
+		segLen := lvl.TimeEnd - lvl.TimeStart
+
+		// Temporal profile g_l(t): mean over neighbourhoods.
+		nCount := float64(len(lvl.Neighborhoods))
+		g := make([]float64, segLen)
+		for _, nb := range lvl.Neighborhoods {
+			for i, v := range nb.Series {
+				g[i] += v / nCount
+			}
+		}
+		var gMean float64
+		for _, v := range g {
+			gMean += v
+		}
+		gMean /= float64(segLen)
+		if gMean <= 0 {
+			gMean = 1e-9
+		}
+
+		// Relative spatial level of each neighbourhood.
+		ratios := make([]float64, len(lvl.Neighborhoods))
+		for ni, nb := range lvl.Neighborhoods {
+			var s float64
+			for _, v := range nb.Series {
+				s += v
+			}
+			ratios[ni] = s / float64(segLen) / gMean
+		}
+		noiseScale := lvl.Sensitivity / perStep
+		noiseVar := 2 * noiseScale * noiseScale / float64(segLen) / (gMean * gMean)
+
+		// Empirical-Bayes weights, estimated *per parent block*: the
+		// signal variance among a parent's four children tells how much
+		// genuine spatial structure this region has at this granularity.
+		// Dense regions earn w ≈ 1 (trust the fine observation); uniform
+		// or empty regions earn w ≈ 0 (keep the parent's estimate). A
+		// single global weight would let one dense cluster force noisy
+		// fine-level ratios onto the whole map.
+		side := 1 << lvl.Depth
+		weights := make([]float64, len(lvl.Neighborhoods))
+		if lvl.Depth == 0 {
+			weights[0] = 1 // root ratio is 1 by construction
+		} else {
+			pSide := side / 2
+			for py := 0; py < pSide; py++ {
+				for px := 0; px < pSide; px++ {
+					var mean, m2 float64
+					children := [4]int{
+						(2*py)*side + 2*px, (2*py)*side + 2*px + 1,
+						(2*py+1)*side + 2*px, (2*py+1)*side + 2*px + 1,
+					}
+					for _, ci := range children {
+						mean += ratios[ci] / 4
+					}
+					for _, ci := range children {
+						d := ratios[ci] - mean
+						m2 += d * d
+					}
+					signalVar := math.Max(0, m2/4-noiseVar)
+					w := 0.0
+					if signalVar+noiseVar > 0 {
+						w = signalVar / (signalVar + noiseVar)
+					}
+					for _, ci := range children {
+						weights[ci] = w
+					}
+				}
+			}
+		}
+
+		// Update per-cell factors and emit the level's denoised corpus.
+		bw := cx / side
+		bh := cy / side
+		for ni, nb := range lvl.Neighborhoods {
+			w := weights[ni]
+			// Factor of this block after incorporating level l: read any
+			// cell of the block (they are identical up to level l-1).
+			bIdx := nb.Y0*cx + nb.X0
+			factor := (1-w)*b[bIdx] + w*ratios[ni]
+			factor = math.Max(0, factor)
+			series := make([]float64, segLen)
+			for i := range series {
+				series[i] = math.Max(0, g[i]*factor)
+			}
+			out.Corpus = append(out.Corpus, series)
+			// Write the denoised segment into every covered cell.
+			for t := lvl.TimeStart; t < lvl.TimeEnd && t < tTrain; t++ {
+				v := series[t-lvl.TimeStart]
+				for y := nb.Y0; y <= nb.Y1; y++ {
+					for x := nb.X0; x <= nb.X1; x++ {
+						out.Est.Set(x, y, t, v)
+					}
+				}
+			}
+		}
+		// Commit the level's factor refinement cell-wise.
+		for y := 0; y < cy; y++ {
+			for x := 0; x < cx; x++ {
+				ni := (y/bh)*side + x/bw
+				b[y*cx+x] = math.Max(0, (1-weights[ni])*b[y*cx+x]+weights[ni]*ratios[ni])
+			}
+		}
+	}
+	return out
+}

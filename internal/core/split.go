@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SuggestBudgetSplit implements the paper's third future-work item
+// (Section 7): an analytical model for dividing ε_tot between the pattern
+// and sanitisation phases, replacing the constant 1:2 split of Appendix C.
+//
+// Both phases inject Laplace noise whose variance scales as 1/ε². Writing
+// the end-to-end error as
+//
+//	E(f) ≈ a/f² + b/(1-f)²,   f = ε_pattern/ε_tot,
+//
+// the first-order condition gives the closed form
+//
+//	f* = a^{1/3} / (a^{1/3} + b^{1/3}),
+//
+// the same KKT structure as Theorem 8. The coefficients are the total
+// noise variances each phase would inject at unit budget:
+//
+//   - a: the quadtree sanitisation injects, per level l with n_l = 4^l
+//     neighbourhoods over a segment of s_l points, n_l·s_l independent
+//     Laplace draws at scale sens_l·TTrain (per unit ε_pattern), hence
+//     variance Σ_l n_l·s_l·2·(sens_l·TTrain)².
+//   - b: the partition sanitisation at unit ε_sanitize with the Theorem-8
+//     allocation has total variance 2·(Σ_i s_i^{2/3})³, approximated
+//     before partitions exist by k partitions of pillar sensitivity
+//     ≈ horizon/k cells (a pillar's buckets split the time axis k ways),
+//     in units of the cell sensitivity.
+//
+// The model captures the U-shape of Figure 8(g): starving either phase
+// blows up one of the two terms.
+func SuggestBudgetSplit(cfg Config, cx, cy, horizon int) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if cx <= 0 || cy <= 0 || horizon <= 0 {
+		return 0, fmt.Errorf("core: invalid geometry %dx%d horizon %d", cx, cy, horizon)
+	}
+
+	// Phase-1 variance coefficient at unit budget.
+	levels := cfg.Depth + 1
+	seg := (cfg.TTrain + levels - 1) / levels
+	var a float64
+	for d := 0; d <= cfg.Depth; d++ {
+		nl := math.Pow(4, float64(d))
+		sens := 1 / math.Pow(4, float64(log2int(cx)-d))
+		scale := sens * float64(cfg.TTrain) // noise scale per point at ε=1
+		a += nl * float64(seg) * 2 * scale * scale
+	}
+
+	// Phase-2 variance coefficient at unit budget: k partitions whose
+	// pillar sensitivity is ≈ horizon/k cells each.
+	k := cfg.QuantLevels
+	if k <= 0 {
+		k = 1
+	}
+	pillar := float64(horizon) / float64(k)
+	if pillar < 1 {
+		pillar = 1
+	}
+	sum23 := float64(k) * math.Pow(pillar, 2.0/3.0)
+	b := 2 * math.Pow(sum23, 3)
+
+	fa := math.Cbrt(a)
+	fb := math.Cbrt(b)
+	if fa+fb == 0 {
+		return 0.5, nil
+	}
+	f := fa / (fa + fb)
+	// Keep both phases alive: the analytic model ignores the pattern's
+	// learning benefit, so clamp to a sane operating range.
+	return clampFloat(f, 0.1, 0.9), nil
+}
+
+func log2int(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func clampFloat(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

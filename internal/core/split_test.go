@@ -1,0 +1,57 @@
+package core
+
+import "testing"
+
+func TestSuggestBudgetSplitInRange(t *testing.T) {
+	cfg := tinyConfig()
+	f, err := SuggestBudgetSplit(cfg, 16, 16, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.1 || f > 0.9 {
+		t.Fatalf("split %v outside [0.1, 0.9]", f)
+	}
+}
+
+func TestSuggestBudgetSplitRespondsToStructure(t *testing.T) {
+	base := tinyConfig()
+	f0, err := SuggestBudgetSplit(base, 16, 16, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deeper trees add fine, high-sensitivity levels → the pattern phase
+	// needs a larger share.
+	deep := base
+	deep.Depth = 4
+	deep.TTrain = 20
+	f1, err := SuggestBudgetSplit(deep, 16, 16, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 < f0 {
+		t.Fatalf("deeper tree should not lower the pattern share: %v -> %v", f0, f1)
+	}
+	// More quantization buckets mean more noised partition aggregates →
+	// sanitisation needs a larger share, so the pattern share cannot rise.
+	fine := base
+	fine.QuantLevels = 64
+	f2, err := SuggestBudgetSplit(fine, 16, 16, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 > f0+1e-9 {
+		t.Fatalf("more buckets should not raise the pattern share: %v -> %v", f0, f2)
+	}
+}
+
+func TestSuggestBudgetSplitValidation(t *testing.T) {
+	cfg := tinyConfig()
+	if _, err := SuggestBudgetSplit(cfg, 0, 16, 48); err == nil {
+		t.Fatal("expected geometry error")
+	}
+	bad := cfg
+	bad.EpsPattern = 0
+	if _, err := SuggestBudgetSplit(bad, 16, 16, 48); err == nil {
+		t.Fatal("expected config error")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dp"
+	"repro/internal/grid"
+	"repro/internal/timeseries"
+)
+
+// Result is the output of one STPT run.
+type Result struct {
+	// Sanitized is C_sanitized: the ε_tot-DP release of the consumption
+	// matrix over the horizon [TTrain, T), in original (kWh) units.
+	Sanitized *grid.Matrix
+	// Truth is the non-private consumption matrix over the same horizon,
+	// retained for utility evaluation only (never released).
+	Truth *grid.Matrix
+	// Pattern is C_pattern, the normalised private estimates.
+	Pattern *PatternResult
+	// PatternMAE/PatternRMSE compare C_pattern against the true
+	// normalised horizon (the Figure 8(a,b,e,f) metrics).
+	PatternMAE, PatternRMSE float64
+	// Partitions is the number of non-empty quantization buckets.
+	Partitions int
+	// Accountant records the composition structure of the spend.
+	Accountant *dp.Accountant
+}
+
+// Run executes STPT end to end on a dataset whose first cfg.TTrain
+// readings are the training prefix and whose remainder is the released
+// horizon.
+func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if d.T() <= cfg.TTrain {
+		return nil, fmt.Errorf("core: dataset length %d must exceed TTrain %d", d.T(), cfg.TTrain)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	acct := dp.NewAccountant("stpt", dp.Sequential)
+
+	work := d
+	if cfg.ClipFactor > 0 {
+		work = d.Clone()
+		work.Clip(cfg.ClipFactor)
+	}
+	norm := timeseries.FitNormalizer(work)
+	normData := norm.Apply(work)
+
+	// Phase 1: pattern recognition (ε_pattern).
+	patScope := acct.Root().Child("pattern", dp.Sequential)
+	pat, err := patternStep(normData, cfg, rng, patScope)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: sanitisation of the released horizon (ε_sanitize).
+	horizon := d.T() - cfg.TTrain
+	truth := horizonMatrix(work, cfg.TTrain)
+	cellSens := norm.Max // one user's clipped reading bounds a cell's change
+	if cellSens <= 0 {
+		cellSens = 1
+	}
+	lap := dp.NewLaplace(rng)
+	sanScope := acct.Root().Child("sanitize", dp.Sequential)
+
+	var sanitized *grid.Matrix
+	parts := 0
+	if cfg.NoPartitions {
+		sanitized = sanitizePerCell(truth, cfg, cellSens, lap, sanScope)
+	} else {
+		partition := QuantizeMode(pat.Pattern, cfg.QuantLevels, cfg.Quant)
+		parts = len(partition)
+		sanitized = sanitizeStep(truth, partition, cfg, cellSens, lap, sanScope)
+	}
+
+	res := &Result{
+		Sanitized:  sanitized,
+		Truth:      truth,
+		Pattern:    pat,
+		Partitions: parts,
+		Accountant: acct,
+	}
+	res.PatternMAE, res.PatternRMSE = patternError(normData, cfg.TTrain, pat.Pattern, horizon)
+	return res, nil
+}
+
+// horizonMatrix builds the true consumption matrix over [tTrain, T).
+func horizonMatrix(d *timeseries.Dataset, tTrain int) *grid.Matrix {
+	horizon := d.T() - tTrain
+	m := grid.NewMatrix(d.Cx, d.Cy, horizon)
+	for _, s := range d.Series {
+		for t := tTrain; t < d.T(); t++ {
+			m.AddAt(s.Location.X, s.Location.Y, t-tTrain, s.Values[t])
+		}
+	}
+	return m
+}
+
+// patternError evaluates C_pattern against the true normalised cell
+// totals over the horizon — the quantity the pattern estimates (C_norm's
+// cell sums), per the Theorem-6 representative semantics.
+func patternError(norm *timeseries.Dataset, tTrain int, pattern *grid.Matrix, horizon int) (mae, rmse float64) {
+	sums := grid.NewMatrix(norm.Cx, norm.Cy, horizon)
+	for _, s := range norm.Series {
+		for t := tTrain; t < norm.T(); t++ {
+			sums.AddAt(s.Location.X, s.Location.Y, t-tTrain, s.Values[t])
+		}
+	}
+	return timeseries.MAE(sums.Data(), pattern.Data()), timeseries.RMSE(sums.Data(), pattern.Data())
+}

@@ -1,0 +1,105 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/timeseries"
+)
+
+// SaveCSV writes a dataset as CSV: a header row `x,y,v0,v1,...`, then one
+// row per household.
+func SaveCSV(d *timeseries.Dataset, w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("datasets: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"x", "y"}
+	for t := 0; t < d.T(); t++ {
+		header = append(header, "v"+strconv.Itoa(t))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, 2+d.T())
+	for _, s := range d.Series {
+		row = row[:0]
+		row = append(row, strconv.Itoa(s.Location.X), strconv.Itoa(s.Location.Y))
+		for _, v := range s.Values {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV reads the SaveCSV format. Grid dimensions are inferred as the
+// smallest power-of-two square covering all locations unless cx/cy are
+// positive, in which case they are used directly.
+func LoadCSV(r io.Reader, name string, cx, cy int) (*timeseries.Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("datasets: reading CSV: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("datasets: CSV needs a header and at least one row")
+	}
+	d := &timeseries.Dataset{Name: name}
+	T := len(records[0]) - 2
+	if T <= 0 {
+		return nil, fmt.Errorf("datasets: CSV header has no value columns")
+	}
+	maxX, maxY := 0, 0
+	for i, rec := range records[1:] {
+		if len(rec) != T+2 {
+			return nil, fmt.Errorf("datasets: row %d has %d fields, want %d", i+2, len(rec), T+2)
+		}
+		x, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("datasets: row %d x: %w", i+2, err)
+		}
+		y, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("datasets: row %d y: %w", i+2, err)
+		}
+		if x < 0 || y < 0 {
+			return nil, fmt.Errorf("datasets: row %d has negative location (%d,%d)", i+2, x, y)
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y > maxY {
+			maxY = y
+		}
+		vals := make([]float64, T)
+		for j := 0; j < T; j++ {
+			v, err := strconv.ParseFloat(rec[2+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: row %d value %d: %w", i+2, j, err)
+			}
+			vals[j] = v
+		}
+		d.Series = append(d.Series, &timeseries.Series{
+			Location: timeseries.Location{X: x, Y: y}, Values: vals,
+		})
+	}
+	if cx > 0 && cy > 0 {
+		d.Cx, d.Cy = cx, cy
+	} else {
+		side := 1
+		for side <= maxX || side <= maxY {
+			side <<= 1
+		}
+		d.Cx, d.Cy = side, side
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,337 @@
+// Package datasets synthesises electricity-consumption datasets calibrated
+// to the summary statistics the paper publishes (Table 2, Figure 9) for
+// CER, CA, MI and TX, and places households on the grid under the three
+// spatial layouts of Section 5.1 (Uniform, Normal, and an LA-like
+// population histogram standing in for the proprietary Veraset data).
+//
+// The real datasets are access-gated; these generators reproduce the
+// properties the DP mechanisms are sensitive to — per-reading scale,
+// heavy-tailed spikiness (std ≈ 2-3x mean), hard maxima, diurnal/weekly
+// cycles and spatially clustered placement — so the relative ordering of
+// algorithms in the evaluation carries over.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/timeseries"
+)
+
+// Spec captures one dataset's published statistics.
+type Spec struct {
+	Name       string
+	Households int
+	MeanKWh    float64 // average hourly consumption
+	StdKWh     float64 // standard deviation of hourly consumption
+	MaxKWh     float64 // maximum hourly consumption
+	ClipFactor float64 // sensitivity clipping factor used in experiments
+}
+
+// The four specs of Table 2.
+var (
+	CER = Spec{Name: "CER", Households: 5000, MeanKWh: 0.61, StdKWh: 1.24, MaxKWh: 19.62, ClipFactor: 1.85}
+	CA  = Spec{Name: "CA", Households: 250, MeanKWh: 0.38, StdKWh: 1.13, MaxKWh: 33.54, ClipFactor: 1.51}
+	MI  = Spec{Name: "MI", Households: 250, MeanKWh: 0.48, StdKWh: 1.22, MaxKWh: 49.50, ClipFactor: 1.7}
+	TX  = Spec{Name: "TX", Households: 250, MeanKWh: 0.55, StdKWh: 1.63, MaxKWh: 68.86, ClipFactor: 2.18}
+)
+
+// All returns the four paper datasets in publication order.
+func All() []Spec { return []Spec{CER, CA, MI, TX} }
+
+// ByName finds a spec by its (case-sensitive) name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// Layout selects the household spatial distribution.
+type Layout int
+
+const (
+	// Uniform scatters households uniformly over the grid.
+	Uniform Layout = iota
+	// Normal clusters households around a random centre with standard
+	// deviation one third of the grid side (Section 5.1).
+	Normal
+	// LosAngeles emulates the Veraset-derived LA population histogram: a
+	// dominant downtown mode, several secondary clusters, and a sparse
+	// uniform background.
+	LosAngeles
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case Uniform:
+		return "uniform"
+	case Normal:
+		return "normal"
+	case LosAngeles:
+		return "losangeles"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// ParseLayout converts a name into a Layout.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "normal":
+		return Normal, nil
+	case "losangeles", "la":
+		return LosAngeles, nil
+	}
+	return 0, fmt.Errorf("datasets: unknown layout %q", s)
+}
+
+// Generate produces hourly readings for T timestamps on a cx x cy grid.
+// Readings start on a Monday at 00:00 so weekday-dependent patterns
+// (Figure 9) are well defined.
+func (s Spec) Generate(layout Layout, cx, cy, T int, seed int64) *timeseries.Dataset {
+	if cx <= 0 || cy <= 0 || T <= 0 || s.Households <= 0 {
+		panic(fmt.Sprintf("datasets: invalid generation parameters cx=%d cy=%d T=%d n=%d", cx, cy, T, s.Households))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	locs := placeHouseholds(rng, layout, cx, cy, s.Households)
+
+	// Hourly consumption model, matched to the statistical character of
+	// real smart-meter data rather than a clean harmonic:
+	//
+	//   x_t = mean * diurnal(hour - phase) * weekly(day) * householdScale
+	//         * amplitudeWalk_t * event_t * exp(AR1_t)
+	//
+	// Households have individual peak phases (work schedules differ),
+	// deviations persist across hours (AR(1), people stay home), usage
+	// has day-scale events (laundry days, guests, vacations), and the
+	// lognormal innovation is calibrated so the marginal coefficient of
+	// variation matches Std/Mean from Table 2. Everything is clipped at
+	// the published maximum. The wide, irregular spectrum this produces is
+	// what defeats low-coefficient transform baselines on real data.
+	cv := s.StdKWh / s.MeanKWh
+	sigmaMarginal := math.Sqrt(math.Log(1 + cv*cv))
+	const arRho = 0.7
+	// AR(1) innovations with stationary std sigmaMarginal.
+	sigmaInnov := sigmaMarginal * math.Sqrt(1-arRho*arRho)
+
+	d := &timeseries.Dataset{Name: s.Name, Cx: cx, Cy: cy}
+	for i := 0; i < s.Households; i++ {
+		// Household base scale: lognormal across households, mean 1.
+		hs := math.Exp(rng.NormFloat64()*0.4 - 0.08)
+		phase := rng.Intn(7) - 3 // peak-hour offset in [-3, 3]
+		vals := make([]float64, T)
+		ar := rng.NormFloat64() * sigmaMarginal
+		ampWalk := 1.0
+		eventFactor := 1.0
+		eventLeft := 0
+		for t := 0; t < T; t++ {
+			hour := t % 24
+			day := (t / 24) % 7
+			if hour == 0 {
+				// Day boundary: amplitude wanders, events start/stop.
+				ampWalk *= math.Exp(rng.NormFloat64() * 0.15)
+				ampWalk = mat.Clamp(ampWalk, 0.4, 2.5)
+				if eventLeft > 0 {
+					eventLeft--
+					if eventLeft == 0 {
+						eventFactor = 1
+					}
+				} else if rng.Float64() < 0.08 {
+					eventLeft = 1 + rng.Intn(3)
+					if rng.Float64() < 0.5 {
+						eventFactor = 2 + rng.Float64()*2 // high-usage days
+					} else {
+						eventFactor = 0.15 // away days
+					}
+				}
+			}
+			ar = arRho*ar + rng.NormFloat64()*sigmaInnov
+			base := s.MeanKWh * diurnal(((hour-phase)%24+24)%24) * weekly(day) * hs
+			v := base * ampWalk * eventFactor * math.Exp(ar-sigmaMarginal*sigmaMarginal/2)
+			if v > s.MaxKWh {
+				v = s.MaxKWh
+			}
+			vals[t] = v
+		}
+		d.Series = append(d.Series, &timeseries.Series{Location: locs[i], Values: vals})
+	}
+	return d
+}
+
+// GenerateDaily produces day-granularity readings — the granularity the
+// paper releases at (Section 3.1) — by generating the hourly model and
+// summing each household's 24-hour blocks.
+func (s Spec) GenerateDaily(layout Layout, cx, cy, days int, seed int64) *timeseries.Dataset {
+	hourly := s.Generate(layout, cx, cy, days*24, seed)
+	d := &timeseries.Dataset{Name: hourly.Name, Cx: cx, Cy: cy}
+	for _, h := range hourly.Series {
+		vals := make([]float64, days)
+		for t, v := range h.Values {
+			vals[t/24] += v
+		}
+		d.Series = append(d.Series, &timeseries.Series{Location: h.Location, Values: vals})
+	}
+	return d
+}
+
+// DailyClip returns the sensitivity clipping factor for day-granularity
+// readings: the hourly clip scaled to a day, bounding one household's
+// daily contribution the way ClipFactor bounds its hourly one.
+func (s Spec) DailyClip() float64 { return s.ClipFactor * 24 }
+
+// diurnal is a double-peaked residential daily profile (morning and
+// evening peaks, overnight trough), normalised to mean 1 over 24 hours.
+func diurnal(hour int) float64 {
+	h := float64(hour)
+	morning := math.Exp(-(h - 8) * (h - 8) / 8)
+	evening := 1.6 * math.Exp(-(h-19)*(h-19)/10)
+	raw := 0.45 + morning + evening
+	return raw / 1.02463 // mean of raw over the 24 hours
+}
+
+// weekly modulates by day of week (0 = Monday): weekends run higher for
+// residential consumption, reproducing the Figure 9 shape.
+func weekly(day int) float64 {
+	switch day {
+	case 5: // Saturday
+		return 1.12
+	case 6: // Sunday
+		return 1.15
+	default:
+		return 0.97
+	}
+}
+
+// placeHouseholds draws grid locations under the layout.
+func placeHouseholds(rng *rand.Rand, layout Layout, cx, cy, n int) []timeseries.Location {
+	locs := make([]timeseries.Location, n)
+	switch layout {
+	case Uniform:
+		for i := range locs {
+			locs[i] = timeseries.Location{X: rng.Intn(cx), Y: rng.Intn(cy)}
+		}
+	case Normal:
+		cxf := rng.Float64() * float64(cx)
+		cyf := rng.Float64() * float64(cy)
+		sx := float64(cx) / 3
+		sy := float64(cy) / 3
+		for i := range locs {
+			locs[i] = sampleInGrid(rng, cxf, cyf, sx, sy, cx, cy)
+		}
+	case LosAngeles:
+		// Fixed mixture emulating the LA density: downtown (45%), four
+		// secondary clusters (40%), diffuse background (15%).
+		type mode struct{ fx, fy, sx, sy, w float64 }
+		modes := []mode{
+			{0.55, 0.45, 0.06, 0.06, 0.45}, // downtown core
+			{0.30, 0.65, 0.08, 0.07, 0.12}, // westside
+			{0.70, 0.70, 0.09, 0.08, 0.10}, // valley
+			{0.40, 0.25, 0.07, 0.08, 0.10}, // south bay
+			{0.75, 0.30, 0.08, 0.07, 0.08}, // east
+		}
+		for i := range locs {
+			u := rng.Float64()
+			placed := false
+			for _, m := range modes {
+				if u < m.w {
+					locs[i] = sampleInGrid(rng,
+						m.fx*float64(cx), m.fy*float64(cy),
+						m.sx*float64(cx), m.sy*float64(cy), cx, cy)
+					placed = true
+					break
+				}
+				u -= m.w
+			}
+			if !placed {
+				locs[i] = timeseries.Location{X: rng.Intn(cx), Y: rng.Intn(cy)}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("datasets: unknown layout %v", layout))
+	}
+	return locs
+}
+
+// sampleInGrid draws from N((mx,my), diag(sx,sy)²) by rejection so border
+// cells do not accumulate the clipped tail mass; after a bounded number of
+// attempts it falls back to clamping.
+func sampleInGrid(rng *rand.Rand, mx, my, sx, sy float64, cx, cy int) timeseries.Location {
+	for attempt := 0; attempt < 32; attempt++ {
+		x := rng.NormFloat64()*sx + mx
+		y := rng.NormFloat64()*sy + my
+		if x >= 0 && x < float64(cx) && y >= 0 && y < float64(cy) {
+			return timeseries.Location{X: int(x), Y: int(y)}
+		}
+	}
+	return clampLoc(rng.NormFloat64()*sx+mx, rng.NormFloat64()*sy+my, cx, cy)
+}
+
+func clampLoc(x, y float64, cx, cy int) timeseries.Location {
+	xi := int(math.Floor(x))
+	yi := int(math.Floor(y))
+	if xi < 0 {
+		xi = 0
+	}
+	if xi >= cx {
+		xi = cx - 1
+	}
+	if yi < 0 {
+		yi = 0
+	}
+	if yi >= cy {
+		yi = cy - 1
+	}
+	return timeseries.Location{X: xi, Y: yi}
+}
+
+// Stats summarises a dataset the way Table 2 does.
+type Stats struct {
+	Households            int
+	Mean, Std, Max        float64
+}
+
+// Summarize computes Table 2-style statistics.
+func Summarize(d *timeseries.Dataset) Stats {
+	var (
+		n    int
+		sum  float64
+		sums float64
+		max  float64
+	)
+	for _, s := range d.Series {
+		for _, v := range s.Values {
+			n++
+			sum += v
+			sums += v * v
+			if v > max {
+				max = v
+			}
+		}
+	}
+	mean := sum / float64(n)
+	variance := sums/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Stats{Households: len(d.Series), Mean: mean, Std: math.Sqrt(variance), Max: max}
+}
+
+// WeekdayTotals returns the total consumption per weekday (0 = Monday),
+// the Figure 9 statistic, assuming hourly readings starting Monday 00:00.
+func WeekdayTotals(d *timeseries.Dataset) [7]float64 {
+	var out [7]float64
+	for _, s := range d.Series {
+		for t, v := range s.Values {
+			out[(t/24)%7] += v
+		}
+	}
+	return out
+}

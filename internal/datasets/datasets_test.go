@@ -1,0 +1,191 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecsMatchTable2(t *testing.T) {
+	if CER.Households != 5000 || CA.Households != 250 || MI.Households != 250 || TX.Households != 250 {
+		t.Fatal("household counts diverge from Table 2")
+	}
+	if CER.ClipFactor != 1.85 || TX.ClipFactor != 2.18 {
+		t.Fatal("clip factors diverge from Table 2")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CER", "CA", "MI", "TX"} {
+		s, err := ByName(name)
+		if err != nil || s.Name != name {
+			t.Fatalf("ByName(%q) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := ByName("XX"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGeneratedStatsApproximateSpec(t *testing.T) {
+	// One week of hourly data is enough to converge the moments.
+	for _, spec := range All() {
+		d := spec.Generate(Uniform, 16, 16, 7*24, 1)
+		st := Summarize(d)
+		if st.Households != spec.Households {
+			t.Fatalf("%s: households %d", spec.Name, st.Households)
+		}
+		if relErr(st.Mean, spec.MeanKWh) > 0.25 {
+			t.Errorf("%s: mean %v vs spec %v", spec.Name, st.Mean, spec.MeanKWh)
+		}
+		if relErr(st.Std, spec.StdKWh) > 0.4 {
+			t.Errorf("%s: std %v vs spec %v", spec.Name, st.Std, spec.StdKWh)
+		}
+		if st.Max > spec.MaxKWh+1e-9 {
+			t.Errorf("%s: max %v exceeds spec cap %v", spec.Name, st.Max, spec.MaxKWh)
+		}
+	}
+}
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := CA.Generate(Normal, 8, 8, 48, 7)
+	b := CA.Generate(Normal, 8, 8, 48, 7)
+	for i := range a.Series {
+		if a.Series[i].Location != b.Series[i].Location {
+			t.Fatal("locations differ for same seed")
+		}
+		for j := range a.Series[i].Values {
+			if a.Series[i].Values[j] != b.Series[i].Values[j] {
+				t.Fatal("values differ for same seed")
+			}
+		}
+	}
+	c := CA.Generate(Normal, 8, 8, 48, 8)
+	if c.Series[0].Values[0] == a.Series[0].Values[0] {
+		t.Fatal("different seeds produced identical first value")
+	}
+}
+
+func TestLayoutsProduceValidAndDistinctConcentrations(t *testing.T) {
+	const n = 2000
+	spec := Spec{Name: "t", Households: n, MeanKWh: 0.5, StdKWh: 1, MaxKWh: 10, ClipFactor: 1}
+	concentration := func(l Layout) float64 {
+		d := spec.Generate(l, 16, 16, 2, 3)
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		counts := map[[2]int]int{}
+		for _, s := range d.Series {
+			counts[[2]int{s.Location.X, s.Location.Y}]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(best) / n
+	}
+	u := concentration(Uniform)
+	nm := concentration(Normal)
+	la := concentration(LosAngeles)
+	// Uniform spreads ~n/256 per cell; clustered layouts concentrate more.
+	if nm < 1.2*u {
+		t.Errorf("normal layout concentration %v not above uniform %v", nm, u)
+	}
+	if la < 1.2*u {
+		t.Errorf("LA layout concentration %v not above uniform %v", la, u)
+	}
+}
+
+func TestWeekdayTotalsWeekendEffect(t *testing.T) {
+	d := CER.Generate(Uniform, 8, 8, 14*24, 5) // two weeks
+	tot := WeekdayTotals(d)
+	weekday := (tot[0] + tot[1] + tot[2] + tot[3] + tot[4]) / 5
+	weekend := (tot[5] + tot[6]) / 2
+	if weekend <= weekday {
+		t.Fatalf("weekend %v should exceed weekday %v (Figure 9 shape)", weekend, weekday)
+	}
+}
+
+func TestDiurnalMeanIsOne(t *testing.T) {
+	var sum float64
+	for h := 0; h < 24; h++ {
+		sum += diurnal(h)
+	}
+	if math.Abs(sum/24-1) > 0.05 {
+		t.Fatalf("diurnal mean %v, want ~1", sum/24)
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	for s, want := range map[string]Layout{"uniform": Uniform, "normal": Normal, "losangeles": LosAngeles, "la": LosAngeles} {
+		got, err := ParseLayout(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLayout(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLayout("x"); err == nil {
+		t.Fatal("expected error")
+	}
+	if Uniform.String() != "uniform" || LosAngeles.String() != "losangeles" {
+		t.Fatal("layout names wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := CA.Generate(Uniform, 8, 8, 12, 2)
+	var buf bytes.Buffer
+	if err := SaveCSV(d, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, "CA", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.N() || back.T() != d.T() || back.Cx != 8 {
+		t.Fatalf("round trip shape: n=%d T=%d cx=%d", back.N(), back.T(), back.Cx)
+	}
+	for i := range d.Series {
+		if back.Series[i].Location != d.Series[i].Location {
+			t.Fatal("location mismatch")
+		}
+		for j := range d.Series[i].Values {
+			if math.Abs(back.Series[i].Values[j]-d.Series[i].Values[j]) > 1e-12 {
+				t.Fatal("value mismatch")
+			}
+		}
+	}
+}
+
+func TestLoadCSVInfersGrid(t *testing.T) {
+	csv := "x,y,v0\n0,0,1.5\n9,13,2.5\n"
+	d, err := LoadCSV(strings.NewReader(csv), "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cx != 16 || d.Cy != 16 {
+		t.Fatalf("inferred grid %dx%d, want 16x16", d.Cx, d.Cy)
+	}
+}
+
+func TestLoadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"x,y,v0\n",                 // header only
+		"x,y,v0\n1,2\n",            // short row
+		"x,y,v0\na,2,3\n",          // bad x
+		"x,y,v0\n1,b,3\n",          // bad y
+		"x,y,v0\n1,2,zz\n",         // bad value
+		"x,y,v0\n-1,2,3\n",         // negative location
+		"x,y\n1,2\n",               // no value columns
+	}
+	for i, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c), "t", 0, 0); err == nil {
+			t.Errorf("case %d should fail: %q", i, c)
+		}
+	}
+}

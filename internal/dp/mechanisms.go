@@ -1,0 +1,100 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Exponential implements the exponential mechanism: given candidate
+// outputs with a utility score each, it samples candidate i with
+// probability ∝ exp(ε·u_i/(2·Δu)), which is ε-DP when the utility's
+// sensitivity is Δu. The library uses it to select discrete
+// hyper-parameters (e.g. a quantization level) privately.
+type Exponential struct {
+	rng *rand.Rand
+}
+
+// NewExponential returns an exponential-mechanism sampler backed by rng.
+func NewExponential(rng *rand.Rand) *Exponential {
+	if rng == nil {
+		panic("dp: nil rng")
+	}
+	return &Exponential{rng: rng}
+}
+
+// Choose samples an index from utilities with budget epsilon and utility
+// sensitivity. It panics on empty input or invalid parameters.
+func (e *Exponential) Choose(utilities []float64, sensitivity, epsilon float64) int {
+	if len(utilities) == 0 {
+		panic("dp: exponential mechanism with no candidates")
+	}
+	if sensitivity <= 0 || epsilon <= 0 || math.IsNaN(sensitivity) || math.IsNaN(epsilon) {
+		panic(fmt.Sprintf("dp: invalid exponential parameters Δu=%v ε=%v", sensitivity, epsilon))
+	}
+	// Max-shift for numerical stability.
+	best := utilities[0]
+	for _, u := range utilities[1:] {
+		if u > best {
+			best = u
+		}
+	}
+	weights := make([]float64, len(utilities))
+	var total float64
+	for i, u := range utilities {
+		w := math.Exp(epsilon * (u - best) / (2 * sensitivity))
+		weights[i] = w
+		total += w
+	}
+	r := e.rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(utilities) - 1
+}
+
+// Gaussian draws Gaussian noise calibrated for (ε, δ)-DP via the analytic
+// bound σ ≥ Δ₂·sqrt(2·ln(1.25/δ))/ε (valid for ε ≤ 1; for larger ε the
+// bound is conservative). It complements the Laplace mechanism when an
+// approximate-DP guarantee with L2 sensitivity is preferable — e.g. for
+// high-dimensional vector releases.
+type Gaussian struct {
+	rng *rand.Rand
+}
+
+// NewGaussian returns a Gaussian-mechanism sampler backed by rng.
+func NewGaussian(rng *rand.Rand) *Gaussian {
+	if rng == nil {
+		panic("dp: nil rng")
+	}
+	return &Gaussian{rng: rng}
+}
+
+// Sigma returns the noise standard deviation for the given L2 sensitivity
+// and (ε, δ) target.
+func Sigma(l2Sensitivity, epsilon, delta float64) float64 {
+	if l2Sensitivity < 0 || epsilon <= 0 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("dp: invalid Gaussian parameters Δ₂=%v ε=%v δ=%v", l2Sensitivity, epsilon, delta))
+	}
+	return l2Sensitivity * math.Sqrt(2*math.Log(1.25/delta)) / epsilon
+}
+
+// Perturb returns value + N(0, σ²) with σ from Sigma.
+func (g *Gaussian) Perturb(value, l2Sensitivity, epsilon, delta float64) float64 {
+	return value + g.rng.NormFloat64()*Sigma(l2Sensitivity, epsilon, delta)
+}
+
+// PerturbVec adds independent Gaussian noise to each element, with the
+// whole vector's L2 sensitivity protected jointly (one σ for all
+// coordinates).
+func (g *Gaussian) PerturbVec(v []float64, l2Sensitivity, epsilon, delta float64) []float64 {
+	sigma := Sigma(l2Sensitivity, epsilon, delta)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x + g.rng.NormFloat64()*sigma
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExponentialPrefersHighUtility(t *testing.T) {
+	e := NewExponential(rand.New(rand.NewSource(1)))
+	utilities := []float64{0, 5, 10}
+	counts := make([]int, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[e.Choose(utilities, 1, 2)]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("monotonicity violated: %v", counts)
+	}
+	// With ε=2, Δu=1, the top candidate's weight is e^10 ≈ 22026 times the
+	// bottom's; it should dominate.
+	if float64(counts[2])/n < 0.95 {
+		t.Fatalf("top candidate frequency %v too low", float64(counts[2])/n)
+	}
+}
+
+func TestExponentialDPRatio(t *testing.T) {
+	// Likelihood ratio between neighbouring utility vectors (one score
+	// shifted by Δu) must respect exp(ε).
+	e := NewExponential(rand.New(rand.NewSource(2)))
+	eps := 1.0
+	u1 := []float64{1, 1}
+	u2 := []float64{2, 1} // candidate 0's utility moved by Δu = 1
+	count := func(u []float64) float64 {
+		c := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if e.Choose(u, 1, eps) == 0 {
+				c++
+			}
+		}
+		return float64(c) / float64(n)
+	}
+	p1, p2 := count(u1), count(u2)
+	if ratio := p2 / p1; ratio > math.Exp(eps)*1.1 {
+		t.Fatalf("exponential mechanism ratio %v exceeds e^ε", ratio)
+	}
+}
+
+func TestExponentialUniformWhenEqual(t *testing.T) {
+	e := NewExponential(rand.New(rand.NewSource(3)))
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[e.Choose([]float64{7, 7, 7, 7}, 1, 1)]++
+	}
+	for _, c := range counts {
+		if math.Abs(float64(c)/n-0.25) > 0.02 {
+			t.Fatalf("equal utilities should be uniform: %v", counts)
+		}
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	e := NewExponential(rand.New(rand.NewSource(4)))
+	for _, fn := range []func(){
+		func() { e.Choose(nil, 1, 1) },
+		func() { e.Choose([]float64{1}, 0, 1) },
+		func() { e.Choose([]float64{1}, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGaussianSigmaFormula(t *testing.T) {
+	got := Sigma(2, 0.5, 1e-5)
+	want := 2 * math.Sqrt(2*math.Log(1.25/1e-5)) / 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sigma = %v, want %v", got, want)
+	}
+	for _, fn := range []func(){
+		func() { Sigma(-1, 1, 0.1) },
+		func() { Sigma(1, 0, 0.1) },
+		func() { Sigma(1, 1, 0) },
+		func() { Sigma(1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	g := NewGaussian(rand.New(rand.NewSource(5)))
+	const n = 100000
+	sigma := Sigma(1, 1, 1e-5)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		d := g.Perturb(3, 1, 1, 1e-5) - 3
+		sum += d
+		sumSq += d * d
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.05*sigma {
+		t.Fatalf("Gaussian mean %v", mean)
+	}
+	if math.Abs(std-sigma)/sigma > 0.03 {
+		t.Fatalf("Gaussian std %v, want %v", std, sigma)
+	}
+}
+
+func TestGaussianPerturbVec(t *testing.T) {
+	g := NewGaussian(rand.New(rand.NewSource(6)))
+	v := []float64{1, 2, 3}
+	out := g.PerturbVec(v, 1, 1, 1e-5)
+	if len(out) != 3 {
+		t.Fatalf("length %d", len(out))
+	}
+	same := true
+	for i := range v {
+		if out[i] != v[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("no noise added")
+	}
+}

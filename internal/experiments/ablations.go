@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+)
+
+// AblationResult compares full STPT against one disabled design choice.
+type AblationResult struct {
+	Name     string
+	Full     AlgResult
+	Ablated  AlgResult
+}
+
+// RunAblations measures the contribution of each STPT design choice
+// called out in DESIGN.md: hierarchical training sanitisation, Theorem-8
+// budget allocation, k-quantization partitioning and the learned
+// predictor.
+func RunAblations(o Options) ([]AblationResult, error) {
+	spec := fig8Spec()
+	d := o.generate(spec, datasets.Uniform)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+
+	full, _, err := o.runSTPT(d, spec, truth, qs, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	ablations := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"flat-training", func(c *core.Config) { c.FlatTraining = true }},
+		{"uniform-budget", func(c *core.Config) { c.UniformBudget = true }},
+		{"no-partitions", func(c *core.Config) { c.NoPartitions = true }},
+		{"persistence", func(c *core.Config) { c.Model = core.ModelPersistence }},
+	}
+	var out []AblationResult
+	for _, ab := range ablations {
+		r, _, err := o.runSTPT(d, spec, truth, qs, ab.mut)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", ab.name, err)
+		}
+		r.Name = ab.name
+		out = append(out, AblationResult{Name: ab.name, Full: full, Ablated: r})
+	}
+	return out, nil
+}
+
+// PrintAblations renders the design-choice comparison.
+func PrintAblations(w io.Writer, rows []AblationResult) {
+	fmt.Fprintln(w, "=== Ablations: full STPT vs each design choice disabled (random-query MRE %) ===")
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-16s %12s %12s %10s\n", "ablation", "full", "ablated", "ratio")
+	for _, r := range rows {
+		full := r.Full.MRE[0]
+		ab := r.Ablated.MRE[0]
+		ratio := 0.0
+		if full > 0 {
+			ratio = ab / full
+		}
+		fmt.Fprintf(w, "  %-16s %12.2f %12.2f %9.2fx\n", r.Name, full, ab, ratio)
+	}
+	fmt.Fprintln(w)
+}

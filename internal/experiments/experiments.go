@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): Table 2's dataset summaries, Figure 6's
+// STPT-vs-benchmarks MRE comparison, Figure 7's WPO comparison, the nine
+// detailed panels of Figure 8, Figure 9's weekday totals, and the
+// DESIGN.md ablations. Each experiment has a Run function returning
+// structured results and a Print helper emitting the same rows/series the
+// paper plots.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/grid"
+	"repro/internal/nn"
+	"repro/internal/query"
+	"repro/internal/timeseries"
+)
+
+// Options scales experiments between CI-friendly and paper-faithful runs.
+type Options struct {
+	Cx, Cy      int
+	TTrain      int
+	Horizon     int
+	Depth       int
+	WindowSize  int
+	QuantLevels int
+	EmbedDim    int
+	Hidden      int
+	Epochs      int
+	EpsPattern  float64
+	EpsSanitize float64
+	Queries     int // queries per class
+	Reps        int // repetitions averaged per data point
+	Seed        int64
+	// Households overrides the spec's household count when positive
+	// (CER's 5000 households are expensive at small scales).
+	Households int
+}
+
+// Quick returns a configuration that exercises every code path in seconds.
+func Quick() Options {
+	return Options{
+		Cx: 16, Cy: 16, TTrain: 40, Horizon: 48,
+		Depth: 3, WindowSize: 4, QuantLevels: 8,
+		EmbedDim: 8, Hidden: 8, Epochs: 4,
+		EpsPattern: 10, EpsSanitize: 20,
+		Queries: 100, Reps: 2, Seed: 1, Households: 300,
+	}
+}
+
+// Paper returns the testbed of Appendix C: 32x32 grid, 100 training and
+// 120 released points, ε_tot = 30 split 10/20, 300 queries, 10
+// repetitions. Network sizes follow the paper (embed 128, hidden 64,
+// 20 epochs); expect hours of CPU time at this scale.
+func Paper() Options {
+	return Options{
+		Cx: 32, Cy: 32, TTrain: 100, Horizon: 120,
+		Depth: 5, WindowSize: 6, QuantLevels: 8,
+		EmbedDim: 128, Hidden: 64, Epochs: 20,
+		EpsPattern: 10, EpsSanitize: 20,
+		Queries: 300, Reps: 10, Seed: 1,
+	}
+}
+
+// Bench returns a middle ground used by the benchmark harness: paper grid
+// and horizon, reduced network and repetition count so a full figure
+// regenerates in minutes on CPU.
+func Bench() Options {
+	o := Paper()
+	o.EmbedDim, o.Hidden, o.Epochs = 16, 16, 6
+	o.Reps = 3
+	return o
+}
+
+// STPTConfig translates the options into a core.Config for the spec.
+func (o Options) STPTConfig(spec datasets.Spec) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.EpsPattern = o.EpsPattern
+	cfg.EpsSanitize = o.EpsSanitize
+	cfg.TTrain = o.TTrain
+	cfg.Depth = o.Depth
+	cfg.WindowSize = o.WindowSize
+	cfg.QuantLevels = o.QuantLevels
+	cfg.EmbedDim = o.EmbedDim
+	cfg.Hidden = o.Hidden
+	cfg.Train = nn.TrainConfig{Epochs: o.Epochs, BatchSize: 32, ClipNorm: 5}
+	cfg.ClipFactor = spec.DailyClip()
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// generate builds the dataset for a spec/layout at this scale, at the
+// paper's day granularity (TTrain and Horizon count days).
+func (o Options) generate(spec datasets.Spec, layout datasets.Layout) *timeseries.Dataset {
+	if o.Households > 0 && o.Households < spec.Households {
+		spec.Households = o.Households
+	}
+	return spec.GenerateDaily(layout, o.Cx, o.Cy, o.TTrain+o.Horizon, o.Seed)
+}
+
+// AlgResult is one algorithm's utility on one dataset/layout.
+type AlgResult struct {
+	Name    string
+	MRE     map[query.Class]float64
+	Seconds float64
+}
+
+// evalRelease measures a release against the truth on pre-drawn queries.
+func evalRelease(truth, release *grid.Matrix, qs map[query.Class][]grid.Query) map[query.Class]float64 {
+	out := make(map[query.Class]float64, len(qs))
+	for c, queries := range qs {
+		out[c] = query.Evaluate(truth, release, queries, 0)
+	}
+	return out
+}
+
+// drawQueries samples each workload class once, shared by all algorithms
+// on a dataset (as the paper does).
+func (o Options) drawQueries(truth *grid.Matrix) map[query.Class][]grid.Query {
+	out := make(map[query.Class][]grid.Query, 3)
+	for i, c := range query.Classes() {
+		out[c] = query.GenerateSeeded(o.Seed+int64(100+i), c, truth.Cx, truth.Cy, truth.Ct, o.Queries)
+	}
+	return out
+}
+
+// runSTPT runs STPT o.Reps times (varying the noise seed) and averages the
+// per-class MRE. It returns the last run's result for diagnostics.
+func (o Options) runSTPT(d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query, mutate func(*core.Config)) (AlgResult, *core.Result, error) {
+	cfg := o.STPTConfig(spec)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	acc := map[query.Class]float64{}
+	var last *core.Result
+	start := time.Now()
+	for rep := 0; rep < o.Reps; rep++ {
+		cfg.Seed = o.Seed + int64(rep)
+		res, err := core.Run(d, cfg)
+		if err != nil {
+			return AlgResult{}, nil, err
+		}
+		last = res
+		for c, v := range evalRelease(truth, res.Sanitized, qs) {
+			acc[c] += v
+		}
+	}
+	for c := range acc {
+		acc[c] /= float64(o.Reps)
+	}
+	return AlgResult{Name: "stpt", MRE: acc, Seconds: time.Since(start).Seconds() / float64(o.Reps)}, last, nil
+}
+
+// runBaseline averages a baseline's per-class MRE over o.Reps seeds.
+func (o Options) runBaseline(alg baselines.Algorithm, d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query) (AlgResult, error) {
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	acc := map[query.Class]float64{}
+	start := time.Now()
+	for rep := 0; rep < o.Reps; rep++ {
+		rel, err := alg.Release(in, o.EpsPattern+o.EpsSanitize, o.Seed+int64(rep))
+		if err != nil {
+			return AlgResult{}, err
+		}
+		for c, v := range evalRelease(truth, rel, qs) {
+			acc[c] += v
+		}
+	}
+	for c := range acc {
+		acc[c] /= float64(o.Reps)
+	}
+	return AlgResult{Name: alg.Name(), MRE: acc, Seconds: time.Since(start).Seconds() / float64(o.Reps)}, nil
+}
+
+// printMRETable renders algorithm rows with per-class columns.
+func printMRETable(w io.Writer, title string, results []AlgResult) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  %-14s %12s %12s %12s\n", "algorithm", "random MRE%", "small MRE%", "large MRE%")
+	for _, r := range results {
+		fmt.Fprintf(w, "  %-14s %12.2f %12.2f %12.2f\n",
+			r.Name, r.MRE[query.Random], r.MRE[query.Small], r.MRE[query.Large])
+	}
+}

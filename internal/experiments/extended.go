@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+)
+
+// ExtendedRow compares STPT against the related-work algorithms beyond
+// the paper's Figure-6 suite (AR(1), adaptive grid, HTF, WPO).
+type ExtendedRow struct {
+	Dataset string
+	Layout  string
+	Results []AlgResult
+}
+
+// RunExtended measures the extended comparators on CER under both
+// layouts.
+func RunExtended(o Options) ([]ExtendedRow, error) {
+	var rows []ExtendedRow
+	spec := datasets.CER
+	for _, layout := range []datasets.Layout{datasets.Uniform, datasets.Normal} {
+		d := o.generate(spec, layout)
+		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+		truth := in.Truth()
+		qs := o.drawQueries(truth)
+		row := ExtendedRow{Dataset: spec.Name, Layout: layout.String()}
+
+		stptRes, _, err := o.runSTPT(d, spec, truth, qs, nil)
+		if err != nil {
+			return nil, fmt.Errorf("extended %s: %w", layout, err)
+		}
+		row.Results = append(row.Results, stptRes)
+		for _, alg := range baselines.Extended() {
+			r, err := o.runBaseline(alg, d, spec, truth, qs)
+			if err != nil {
+				return nil, fmt.Errorf("extended %s/%s: %w", layout, alg.Name(), err)
+			}
+			row.Results = append(row.Results, r)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintExtended renders the comparison.
+func PrintExtended(w io.Writer, rows []ExtendedRow) {
+	fmt.Fprintln(w, "=== Extension: STPT vs related-work algorithms beyond the paper's suite ===")
+	for _, row := range rows {
+		printMRETable(w, fmt.Sprintf("[%s / %s layout]", row.Dataset, row.Layout), row.Results)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+	"repro/internal/query"
+)
+
+// Fig6Row is one panel row of Figure 6: a dataset under a layout, with
+// every algorithm's per-class MRE.
+type Fig6Row struct {
+	Dataset string
+	Layout  string
+	Results []AlgResult
+}
+
+// Improvement computes STPT's percentage improvement over the best
+// baseline for a class index (0 random, 1 small, 2 large) — the headline
+// number of Section 5.2: 100*(best baseline - stpt)/best baseline.
+func Improvement(row Fig6Row, classIdx int) float64 {
+	var stptV float64
+	best := -1.0
+	for _, res := range row.Results {
+		v := valueByIdx(res, classIdx)
+		if res.Name == "stpt" {
+			stptV = v
+			continue
+		}
+		if best < 0 || v < best {
+			best = v
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return 100 * (best - stptV) / best
+}
+
+// RunFig6 regenerates Figure 6: STPT against the benchmark suite on every
+// dataset, under the Uniform and Normal layouts, for all three query
+// classes.
+func RunFig6(o Options) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, spec := range datasets.All() {
+		for _, layout := range []datasets.Layout{datasets.Uniform, datasets.Normal} {
+			row, err := runFig6Row(o, spec, layout)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s/%s: %w", spec.Name, layout, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RunFig6Single regenerates one dataset/layout panel (used by benches).
+func RunFig6Single(o Options, spec datasets.Spec, layout datasets.Layout) (Fig6Row, error) {
+	return runFig6Row(o, spec, layout)
+}
+
+func runFig6Row(o Options, spec datasets.Spec, layout datasets.Layout) (Fig6Row, error) {
+	d := o.generate(spec, layout)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+	row := Fig6Row{Dataset: spec.Name, Layout: layout.String()}
+
+	stptRes, _, err := o.runSTPT(d, spec, truth, qs, nil)
+	if err != nil {
+		return row, err
+	}
+	row.Results = append(row.Results, stptRes)
+	for _, alg := range baselines.Registry() {
+		r, err := o.runBaseline(alg, d, spec, truth, qs)
+		if err != nil {
+			return row, fmt.Errorf("%s: %w", alg.Name(), err)
+		}
+		row.Results = append(row.Results, r)
+	}
+	return row, nil
+}
+
+// PrintFig6 renders the rows like the 12 panels of Figure 6.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "=== Figure 6: STPT accuracy vs benchmarks (MRE %, lower is better) ===")
+	for _, row := range rows {
+		printMRETable(w, fmt.Sprintf("[%s / %s layout]", row.Dataset, row.Layout), row.Results)
+		fmt.Fprintf(w, "  STPT improvement over best baseline: random %+.0f%%, small %+.0f%%, large %+.0f%%\n\n",
+			Improvement(row, 0), Improvement(row, 1), Improvement(row, 2))
+	}
+}
+
+func valueByIdx(r AlgResult, idx int) float64 {
+	classes := query.Classes()
+	if idx < 0 || idx >= len(classes) {
+		idx = 0
+	}
+	return r.MRE[classes[idx]]
+}

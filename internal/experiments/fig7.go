@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+)
+
+// Fig7Result compares WPO against STPT (and Identity for context) under
+// the Los Angeles household distribution.
+type Fig7Result struct {
+	Dataset string
+	Results []AlgResult
+}
+
+// RunFig7 regenerates Figure 7 for each dataset under the LA layout.
+func RunFig7(o Options) ([]Fig7Result, error) {
+	var out []Fig7Result
+	for _, spec := range datasets.All() {
+		d := o.generate(spec, datasets.LosAngeles)
+		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+		truth := in.Truth()
+		qs := o.drawQueries(truth)
+		res := Fig7Result{Dataset: spec.Name}
+
+		stptRes, _, err := o.runSTPT(d, spec, truth, qs, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
+		}
+		res.Results = append(res.Results, stptRes)
+		for _, name := range []string{"identity", "wpo"} {
+			alg, err := baselines.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			r, err := o.runBaseline(alg, d, spec, truth, qs)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s/%s: %w", spec.Name, name, err)
+			}
+			res.Results = append(res.Results, r)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintFig7 renders the comparison; the paper's takeaway is WPO trailing
+// STPT by more than an order of magnitude.
+func PrintFig7(w io.Writer, rows []Fig7Result) {
+	fmt.Fprintln(w, "=== Figure 7: WPO vs STPT, Los Angeles household distribution ===")
+	for _, row := range rows {
+		printMRETable(w, fmt.Sprintf("[%s / losangeles layout]", row.Dataset), row.Results)
+		var stpt, wpo float64
+		for _, r := range row.Results {
+			switch r.Name {
+			case "stpt":
+				stpt = r.MRE[0]
+			case "wpo":
+				wpo = r.MRE[0]
+			}
+		}
+		if stpt > 0 {
+			fmt.Fprintf(w, "  WPO/STPT random-query MRE ratio: %.1fx\n\n", wpo/stpt)
+		}
+	}
+}

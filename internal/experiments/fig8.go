@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/query"
+)
+
+// fig8Spec is the dataset the detailed panels run on; the paper uses CER.
+func fig8Spec() datasets.Spec { return datasets.CER }
+
+// SweepPoint is one x/y pair of a Figure 8 sweep.
+type SweepPoint struct {
+	X     float64
+	Label string
+	// MAE/RMSE are pattern-recognition errors (panels a, b, e, f).
+	MAE, RMSE float64
+	// MRE holds per-class query error (panels c, g, h, i).
+	MRE map[query.Class]float64
+}
+
+// RunFig8PatternBudget regenerates Figures 8(a, b): pattern MAE/RMSE as
+// the per-training-datapoint budget ε_pattern/TTrain varies while the
+// sanitisation budget stays fixed.
+func RunFig8PatternBudget(o Options) ([]SweepPoint, error) {
+	perPoint := []float64{0.01, 0.05, 0.1, 0.2, 0.5}
+	spec := fig8Spec()
+	d := o.generate(spec, datasets.Uniform)
+	var out []SweepPoint
+	for _, pp := range perPoint {
+		var mae, rmse float64
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := o.STPTConfig(spec)
+			cfg.EpsPattern = pp * float64(o.TTrain)
+			cfg.Seed = o.Seed + int64(rep)
+			res, err := core.Run(d, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig8ab ε/point=%v: %w", pp, err)
+			}
+			mae += res.PatternMAE
+			rmse += res.PatternRMSE
+		}
+		out = append(out, SweepPoint{
+			X: pp, Label: fmt.Sprintf("%.2f", pp),
+			MAE: mae / float64(o.Reps), RMSE: rmse / float64(o.Reps),
+		})
+	}
+	return out, nil
+}
+
+// RunFig8Quantization regenerates Figure 8(c): query MRE as the number of
+// quantization levels k varies.
+func RunFig8Quantization(o Options) ([]SweepPoint, error) {
+	levels := []int{2, 4, 8, 16, 32, 64}
+	spec := fig8Spec()
+	d := o.generate(spec, datasets.Uniform)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+	var out []SweepPoint
+	for _, k := range levels {
+		r, _, err := o.runSTPT(d, spec, truth, qs, func(c *core.Config) { c.QuantLevels = k })
+		if err != nil {
+			return nil, fmt.Errorf("fig8c k=%d: %w", k, err)
+		}
+		out = append(out, SweepPoint{X: float64(k), Label: fmt.Sprintf("k=%d", k), MRE: r.MRE})
+	}
+	return out, nil
+}
+
+// RuntimeResult is one algorithm's wall-clock time (Figure 8(d)).
+type RuntimeResult struct {
+	Name    string
+	Seconds float64
+}
+
+// RunFig8Runtime regenerates Figure 8(d): end-to-end runtime of every
+// algorithm on the same dataset.
+func RunFig8Runtime(o Options) ([]RuntimeResult, error) {
+	spec := fig8Spec()
+	d := o.generate(spec, datasets.Uniform)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	var out []RuntimeResult
+
+	start := time.Now()
+	cfg := o.STPTConfig(spec)
+	if _, err := core.Run(d, cfg); err != nil {
+		return nil, err
+	}
+	out = append(out, RuntimeResult{Name: "stpt", Seconds: time.Since(start).Seconds()})
+
+	for _, alg := range append(baselines.Registry(), baselines.NewWPO()) {
+		start := time.Now()
+		if _, err := alg.Release(in, o.EpsPattern+o.EpsSanitize, o.Seed); err != nil {
+			return nil, fmt.Errorf("fig8d %s: %w", alg.Name(), err)
+		}
+		out = append(out, RuntimeResult{Name: alg.Name(), Seconds: time.Since(start).Seconds()})
+	}
+	return out, nil
+}
+
+// RunFig8TreeDepth regenerates Figures 8(e, f): pattern MAE/RMSE as the
+// quadtree depth varies.
+func RunFig8TreeDepth(o Options) ([]SweepPoint, error) {
+	spec := fig8Spec()
+	d := o.generate(spec, datasets.Uniform)
+	maxDepth := 0
+	for s := min(o.Cx, o.Cy); s > 1; s >>= 1 {
+		maxDepth++
+	}
+	var out []SweepPoint
+	for depth := 0; depth <= maxDepth; depth++ {
+		if o.TTrain < depth+1 {
+			break
+		}
+		var mae, rmse float64
+		ok := true
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := o.STPTConfig(spec)
+			cfg.Depth = depth
+			cfg.Seed = o.Seed + int64(rep)
+			res, err := core.Run(d, cfg)
+			if err != nil {
+				// Depths whose segments undercut the window size are
+				// structurally impossible at this scale; skip them.
+				ok = false
+				break
+			}
+			mae += res.PatternMAE
+			rmse += res.PatternRMSE
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, SweepPoint{
+			X: float64(depth), Label: fmt.Sprintf("depth=%d", depth),
+			MAE: mae / float64(o.Reps), RMSE: rmse / float64(o.Reps),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fig8ef: no feasible depth at this scale")
+	}
+	return out, nil
+}
+
+// RunFig8BudgetSplit regenerates Figure 8(g): query MRE as the share of
+// ε_tot given to pattern recognition varies, total held constant.
+func RunFig8BudgetSplit(o Options) ([]SweepPoint, error) {
+	fractions := []float64{0.1, 0.2, 0.33, 0.5, 0.67, 0.8, 0.9}
+	total := o.EpsPattern + o.EpsSanitize
+	spec := fig8Spec()
+	d := o.generate(spec, datasets.Uniform)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+	var out []SweepPoint
+	for _, f := range fractions {
+		r, _, err := o.runSTPT(d, spec, truth, qs, func(c *core.Config) {
+			c.EpsPattern = f * total
+			c.EpsSanitize = (1 - f) * total
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig8g f=%v: %w", f, err)
+		}
+		out = append(out, SweepPoint{X: f, Label: fmt.Sprintf("%.0f%%", 100*f), MRE: r.MRE})
+	}
+	return out, nil
+}
+
+// RunFig8TotalBudget regenerates Figure 8(h): query MRE as ε_tot varies
+// with the pattern/sanitize ratio fixed at the paper's 1:2.
+func RunFig8TotalBudget(o Options) ([]SweepPoint, error) {
+	totals := []float64{5, 10, 20, 30, 50}
+	spec := fig8Spec()
+	d := o.generate(spec, datasets.Uniform)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+	var out []SweepPoint
+	for _, tot := range totals {
+		r, _, err := o.runSTPT(d, spec, truth, qs, func(c *core.Config) {
+			c.EpsPattern = tot / 3
+			c.EpsSanitize = 2 * tot / 3
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig8h ε=%v: %w", tot, err)
+		}
+		out = append(out, SweepPoint{X: tot, Label: fmt.Sprintf("ε=%.0f", tot), MRE: r.MRE})
+	}
+	return out, nil
+}
+
+// RunFig8Models regenerates Figure 8(i): query MRE with the RNN, GRU and
+// transformer predictors (plus LSTM, which the library also supports).
+func RunFig8Models(o Options) ([]SweepPoint, error) {
+	kinds := []core.ModelKind{core.ModelRNN, core.ModelGRU, core.ModelAttentiveGRU, core.ModelTransformer}
+	spec := fig8Spec()
+	d := o.generate(spec, datasets.Uniform)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+	var out []SweepPoint
+	for i, kind := range kinds {
+		r, _, err := o.runSTPT(d, spec, truth, qs, func(c *core.Config) { c.Model = kind })
+		if err != nil {
+			return nil, fmt.Errorf("fig8i %v: %w", kind, err)
+		}
+		out = append(out, SweepPoint{X: float64(i), Label: kind.String(), MRE: r.MRE})
+	}
+	return out, nil
+}
+
+// PrintSweepMRE renders MRE-valued sweep points (panels c, g, h, i).
+func PrintSweepMRE(w io.Writer, title string, points []SweepPoint) {
+	fmt.Fprintf(w, "=== %s ===\n", title)
+	fmt.Fprintf(w, "  %-10s %12s %12s %12s\n", "x", "random MRE%", "small MRE%", "large MRE%")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-10s %12.2f %12.2f %12.2f\n",
+			p.Label, p.MRE[query.Random], p.MRE[query.Small], p.MRE[query.Large])
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintSweepPattern renders MAE/RMSE-valued sweep points (panels a/b, e/f).
+func PrintSweepPattern(w io.Writer, title string, points []SweepPoint) {
+	fmt.Fprintf(w, "=== %s ===\n", title)
+	fmt.Fprintf(w, "  %-10s %12s %12s\n", "x", "MAE", "RMSE")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-10s %12.4f %12.4f\n", p.Label, p.MAE, p.RMSE)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintRuntimes renders Figure 8(d).
+func PrintRuntimes(w io.Writer, rows []RuntimeResult) {
+	fmt.Fprintln(w, "=== Figure 8(d): computational complexity ===")
+	fmt.Fprintf(w, "  %-14s %12s\n", "algorithm", "seconds")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %12.3f\n", r.Name, r.Seconds)
+	}
+	fmt.Fprintln(w)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

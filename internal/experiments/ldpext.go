@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+	"repro/internal/ldp"
+	"repro/internal/query"
+)
+
+// LDPResult compares the central STPT release against the local-DP
+// protocols of the paper's future-work section, at equal total ε.
+type LDPResult struct {
+	Dataset string
+	Results []AlgResult
+}
+
+// RunLDPExtension measures the price of removing the trusted collector.
+func RunLDPExtension(o Options) ([]LDPResult, error) {
+	var out []LDPResult
+	for _, spec := range []datasets.Spec{datasets.CER, datasets.TX} {
+		d := o.generate(spec, datasets.Uniform)
+		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+		truth := in.Truth()
+		qs := o.drawQueries(truth)
+		res := LDPResult{Dataset: spec.Name}
+
+		central, _, err := o.runSTPT(d, spec, truth, qs, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ldp-ext %s: %w", spec.Name, err)
+		}
+		res.Results = append(res.Results, central)
+
+		lin := ldp.Input{Dataset: d, TTrain: o.TTrain, Clip: spec.DailyClip()}
+		for _, m := range []ldp.Mechanism{ldp.LocalLaplace{}, ldp.LocalSampling{}} {
+			acc := map[query.Class]float64{}
+			for rep := 0; rep < o.Reps; rep++ {
+				rel, err := m.Release(lin, o.EpsPattern+o.EpsSanitize, o.Seed+int64(rep))
+				if err != nil {
+					return nil, fmt.Errorf("ldp-ext %s/%s: %w", spec.Name, m.Name(), err)
+				}
+				for c, v := range evalRelease(truth, rel, qs) {
+					acc[c] += v
+				}
+			}
+			for c := range acc {
+				acc[c] /= float64(o.Reps)
+			}
+			res.Results = append(res.Results, AlgResult{Name: m.Name(), MRE: acc})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PrintLDPExtension renders the central-vs-local comparison.
+func PrintLDPExtension(w io.Writer, rows []LDPResult) {
+	fmt.Fprintln(w, "=== Extension: central STPT vs local DP (no trusted collector), equal ε_tot ===")
+	for _, row := range rows {
+		printMRETable(w, fmt.Sprintf("[%s / uniform layout]", row.Dataset), row.Results)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,164 @@
+// Package grid implements the 3-D consumption matrix of Section 3.1
+// (spatial Cx x Cy grid by Ct time intervals), range queries over it
+// (Definition 3), and the prefix-sum index that answers them in O(1).
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/timeseries"
+)
+
+// Matrix is the consumption matrix C: element (x, y, t) holds the total
+// consumption of households in spatial cell (x, y) during time interval t.
+type Matrix struct {
+	Cx, Cy, Ct int
+	data       []float64 // index (t*Cy + y)*Cx + x
+}
+
+// NewMatrix returns a zeroed Cx x Cy x Ct matrix.
+func NewMatrix(cx, cy, ct int) *Matrix {
+	if cx <= 0 || cy <= 0 || ct <= 0 {
+		panic(fmt.Sprintf("grid: invalid matrix dimensions %dx%dx%d", cx, cy, ct))
+	}
+	return &Matrix{Cx: cx, Cy: cy, Ct: ct, data: make([]float64, cx*cy*ct)}
+}
+
+// FromDataset accumulates every household's readings into its grid cell,
+// producing the consumption matrix C_cons of the dataset.
+func FromDataset(d *timeseries.Dataset) *Matrix {
+	if err := d.Validate(); err != nil {
+		panic("grid: " + err.Error())
+	}
+	m := NewMatrix(d.Cx, d.Cy, d.T())
+	for _, s := range d.Series {
+		for t, v := range s.Values {
+			m.AddAt(s.Location.X, s.Location.Y, t, v)
+		}
+	}
+	return m
+}
+
+func (m *Matrix) idx(x, y, t int) int {
+	if x < 0 || x >= m.Cx || y < 0 || y >= m.Cy || t < 0 || t >= m.Ct {
+		panic(fmt.Sprintf("grid: index (%d,%d,%d) out of range %dx%dx%d", x, y, t, m.Cx, m.Cy, m.Ct))
+	}
+	return (t*m.Cy+y)*m.Cx + x
+}
+
+// At returns element (x, y, t).
+func (m *Matrix) At(x, y, t int) float64 { return m.data[m.idx(x, y, t)] }
+
+// Set assigns element (x, y, t).
+func (m *Matrix) Set(x, y, t int, v float64) { m.data[m.idx(x, y, t)] = v }
+
+// AddAt accumulates v into element (x, y, t).
+func (m *Matrix) AddAt(x, y, t int, v float64) { m.data[m.idx(x, y, t)] += v }
+
+// Len returns the total number of cells.
+func (m *Matrix) Len() int { return len(m.data) }
+
+// Data exposes the backing slice for bulk read-only traversal. Callers
+// must not grow it; index layout is (t*Cy + y)*Cx + x.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Cx, m.Cy, m.Ct)
+	copy(out.data, m.data)
+	return out
+}
+
+// Pillar returns the time series of cell (x, y) — all Ct values sharing
+// the same spatial coordinates — as a fresh slice.
+func (m *Matrix) Pillar(x, y int) []float64 {
+	out := make([]float64, m.Ct)
+	for t := 0; t < m.Ct; t++ {
+		out[t] = m.At(x, y, t)
+	}
+	return out
+}
+
+// SetPillar writes a length-Ct series into cell (x, y).
+func (m *Matrix) SetPillar(x, y int, values []float64) {
+	if len(values) != m.Ct {
+		panic(fmt.Sprintf("grid: SetPillar length %d, want %d", len(values), m.Ct))
+	}
+	for t, v := range values {
+		m.Set(x, y, t, v)
+	}
+}
+
+// TimeSlice returns the Cx x Cy spatial slice at time t as a fresh
+// row-major (y-major) slice.
+func (m *Matrix) TimeSlice(t int) []float64 {
+	out := make([]float64, m.Cx*m.Cy)
+	copy(out, m.data[t*m.Cx*m.Cy:(t+1)*m.Cx*m.Cy])
+	return out
+}
+
+// Total returns the sum of all cells.
+func (m *Matrix) Total() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the largest cell value (0 for an all-zero matrix is fine:
+// consumption is non-negative).
+func (m *Matrix) Max() float64 {
+	var best float64
+	for _, v := range m.data {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// Query is a 3-orthotope range query (Definition 3) with inclusive bounds
+// in all three dimensions.
+type Query struct {
+	X0, X1 int // 0 <= X0 <= X1 < Cx
+	Y0, Y1 int
+	T0, T1 int
+}
+
+// Valid reports whether the query lies within the matrix bounds.
+func (q Query) Valid(m *Matrix) bool {
+	return q.X0 >= 0 && q.X0 <= q.X1 && q.X1 < m.Cx &&
+		q.Y0 >= 0 && q.Y0 <= q.Y1 && q.Y1 < m.Cy &&
+		q.T0 >= 0 && q.T0 <= q.T1 && q.T1 < m.Ct
+}
+
+// Volume returns the number of cells the query covers.
+func (q Query) Volume() int {
+	return (q.X1 - q.X0 + 1) * (q.Y1 - q.Y0 + 1) * (q.T1 - q.T0 + 1)
+}
+
+// RangeSum answers the query by direct accumulation. Use a PrefixSum index
+// for repeated queries.
+func (m *Matrix) RangeSum(q Query) float64 {
+	if !q.Valid(m) {
+		panic(fmt.Sprintf("grid: query %+v outside %dx%dx%d", q, m.Cx, m.Cy, m.Ct))
+	}
+	var s float64
+	for t := q.T0; t <= q.T1; t++ {
+		for y := q.Y0; y <= q.Y1; y++ {
+			base := (t*m.Cy + y) * m.Cx
+			for x := q.X0; x <= q.X1; x++ {
+				s += m.data[base+x]
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/timeseries"
+)
+
+func testInput(n, T int, seed int64) Input {
+	rng := rand.New(rand.NewSource(seed))
+	d := &timeseries.Dataset{Cx: 4, Cy: 4}
+	for i := 0; i < n; i++ {
+		vals := make([]float64, T)
+		for t := range vals {
+			vals[t] = 0.5 + rng.Float64()
+		}
+		d.Series = append(d.Series, &timeseries.Series{
+			Location: timeseries.Location{X: rng.Intn(4), Y: rng.Intn(4)},
+			Values:   vals,
+		})
+	}
+	return Input{Dataset: d, TTrain: T / 4, Clip: 2}
+}
+
+func truthOf(in Input) *grid.Matrix {
+	T := in.Dataset.T() - in.TTrain
+	m := grid.NewMatrix(in.Dataset.Cx, in.Dataset.Cy, T)
+	for _, s := range in.Dataset.Series {
+		for t := 0; t < T; t++ {
+			m.AddAt(s.Location.X, s.Location.Y, t, math.Min(s.Values[in.TTrain+t], in.Clip))
+		}
+	}
+	return m
+}
+
+func TestMechanismsProduceValidReleases(t *testing.T) {
+	in := testInput(40, 24, 1)
+	for _, m := range []Mechanism{LocalLaplace{}, LocalSampling{}, LocalSampling{Reports: 3}} {
+		rel, err := m.Release(in, 50, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if rel.Ct != 18 || rel.Cx != 4 {
+			t.Fatalf("%s: dims %dx%dx%d", m.Name(), rel.Cx, rel.Cy, rel.Ct)
+		}
+		for _, v := range rel.Data() {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("%s: invalid value %v", m.Name(), v)
+			}
+		}
+	}
+}
+
+func TestLocalLaplaceConvergesWithBudget(t *testing.T) {
+	in := testInput(60, 20, 2)
+	truth := truthOf(in)
+	err := func(eps float64) float64 {
+		var total float64
+		const trials = 8
+		for s := int64(0); s < trials; s++ {
+			rel, e := (LocalLaplace{}).Release(in, eps, s)
+			if e != nil {
+				t.Fatal(e)
+			}
+			for i, v := range rel.Data() {
+				total += math.Abs(v - truth.Data()[i])
+			}
+		}
+		return total / trials
+	}
+	low, high := err(5), err(5000)
+	if high >= low {
+		t.Fatalf("error should fall with budget: ε=5 → %v, ε=5000 → %v", low, high)
+	}
+}
+
+func TestLocalSamplingUnbiasedInExpectation(t *testing.T) {
+	in := testInput(50, 24, 3)
+	truth := truthOf(in)
+	// Average many runs: the inflated sampled reports must approach the
+	// true mass (clamping adds a small positive bias; allow slack).
+	const trials = 60
+	sum := grid.NewMatrix(4, 4, 18)
+	for s := int64(0); s < trials; s++ {
+		rel, err := (LocalSampling{Reports: 6}).Release(in, 1e6, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range rel.Data() {
+			sum.Data()[i] += v / trials
+		}
+	}
+	if math.Abs(sum.Total()-truth.Total())/truth.Total() > 0.15 {
+		t.Fatalf("sampled estimator biased: %v vs %v", sum.Total(), truth.Total())
+	}
+}
+
+func TestLocalBeatenByCentralAtSameBudget(t *testing.T) {
+	// The motivating trade-off: local noise accumulates per household, so
+	// at equal ε a central per-cell release is far more accurate.
+	in := testInput(80, 20, 4)
+	truth := truthOf(in)
+	rel, err := (LocalLaplace{}).Release(in, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localErr float64
+	for i, v := range rel.Data() {
+		localErr += math.Abs(v - truth.Data()[i])
+	}
+	// Central Identity-style noise at the same budget: one Laplace draw
+	// per cell instead of one per household.
+	rng := rand.New(rand.NewSource(1))
+	var centralErr float64
+	for range truth.Data() {
+		centralErr += math.Abs(sampleLaplace(rng, 2*float64(truth.Ct)/30))
+	}
+	if localErr < centralErr {
+		t.Fatalf("local (%v) should be noisier than central (%v)", localErr, centralErr)
+	}
+}
+
+func sampleLaplace(rng *rand.Rand, scale float64) float64 {
+	u := rng.Float64() - 0.5
+	if u >= 0 {
+		return -scale * math.Log(1-2*u)
+	}
+	return scale * math.Log(1+2*u)
+}
+
+func TestInputValidation(t *testing.T) {
+	in := testInput(5, 8, 5)
+	in.TTrain = 8
+	if _, err := (LocalLaplace{}).Release(in, 1, 1); err == nil {
+		t.Fatal("expected no-horizon error")
+	}
+	in = testInput(5, 8, 5)
+	in.Clip = 0
+	if _, err := (LocalLaplace{}).Release(in, 1, 1); err == nil {
+		t.Fatal("expected bad-clip error")
+	}
+	in = testInput(5, 8, 5)
+	if _, err := (LocalLaplace{}).Release(in, 0, 1); err == nil {
+		t.Fatal("expected bad-epsilon error")
+	}
+	if _, err := (LocalSampling{}).Release(in, -1, 1); err == nil {
+		t.Fatal("expected bad-epsilon error")
+	}
+}
+
+func TestMechanismNames(t *testing.T) {
+	if (LocalLaplace{}).Name() != "ldp-laplace" || (LocalSampling{}).Name() != "ldp-sampling" {
+		t.Fatal("names wrong")
+	}
+}

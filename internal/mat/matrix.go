@@ -1,0 +1,334 @@
+// Package mat provides dense float64 matrix and vector algebra used by the
+// neural network, Kalman filter and convex optimisation substrates. It is a
+// deliberately small, allocation-conscious library: matrices are row-major
+// slices, every operation documents whether it allocates, and the hot path
+// (MatMul) is cache-blocked.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-initialised Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying the given rows, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("mat: FromRows ragged input")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("mat: CopyFrom dimension mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero resets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Add stores a+b into m (which may alias a or b) and returns m.
+func (m *Matrix) Add(a, b *Matrix) *Matrix {
+	sameShape3(m, a, b)
+	for i := range m.Data {
+		m.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return m
+}
+
+// Sub stores a-b into m and returns m.
+func (m *Matrix) Sub(a, b *Matrix) *Matrix {
+	sameShape3(m, a, b)
+	for i := range m.Data {
+		m.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return m
+}
+
+// MulElem stores the Hadamard product a*b into m and returns m.
+func (m *Matrix) MulElem(a, b *Matrix) *Matrix {
+	sameShape3(m, a, b)
+	for i := range m.Data {
+		m.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return m
+}
+
+// Scale stores s*a into m and returns m.
+func (m *Matrix) Scale(s float64, a *Matrix) *Matrix {
+	sameShape2(m, a)
+	for i := range m.Data {
+		m.Data[i] = s * a.Data[i]
+	}
+	return m
+}
+
+// AddScaled performs m += s*a in place and returns m.
+func (m *Matrix) AddScaled(s float64, a *Matrix) *Matrix {
+	sameShape2(m, a)
+	for i := range m.Data {
+		m.Data[i] += s * a.Data[i]
+	}
+	return m
+}
+
+// Apply stores f(a[i]) into m element-wise and returns m.
+func (m *Matrix) Apply(f func(float64) float64, a *Matrix) *Matrix {
+	sameShape2(m, a)
+	for i := range m.Data {
+		m.Data[i] = f(a.Data[i])
+	}
+	return m
+}
+
+func sameShape2(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func sameShape3(a, b, c *Matrix) {
+	sameShape2(a, b)
+	sameShape2(a, c)
+}
+
+const matmulBlock = 64
+
+// Mul stores a*b into m and returns m. m must not alias a or b.
+// The kernel is blocked over k to keep b's rows in cache.
+func (m *Matrix) Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if m.Rows != a.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul output shape %dx%d, want %dx%d", m.Rows, m.Cols, a.Rows, b.Cols))
+	}
+	m.Zero()
+	for kb := 0; kb < a.Cols; kb += matmulBlock {
+		kend := kb + matmulBlock
+		if kend > a.Cols {
+			kend = a.Cols
+		}
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			orow := m.Row(i)
+			for k := kb; k < kend; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Mul returns a*b as a new matrix.
+func Mul(a, b *Matrix) *Matrix {
+	return New(a.Rows, b.Cols).Mul(a, b)
+}
+
+// MulVec computes y = a*x for a vector x of length a.Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec length %d, want %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow.
+func Norm2(v []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// KahanSum returns a compensated sum of v, robust to cancellation.
+func KahanSum(v []float64) float64 {
+	var sum, comp float64
+	for _, x := range v {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Sum returns the plain sum of all elements of m.
+func (m *Matrix) Sum() float64 { return KahanSum(m.Data) }
+
+// MaxAbs returns the largest absolute element of m (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Equal reports whether a and b have the same shape and all elements within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("mat %dx%d [", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,79 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the work size (rows*cols*inner) above which MulAuto
+// fans out across cores; below it the single-threaded kernel's cache
+// behaviour wins.
+const parallelThreshold = 1 << 18
+
+// MulAuto computes a*b, choosing between the single-threaded blocked
+// kernel and a row-sharded parallel kernel based on problem size. The
+// result is identical to Mul.
+func MulAuto(a, b *Matrix) *Matrix {
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		return Mul(a, b)
+	}
+	return MulParallel(a, b, 0)
+}
+
+// MulParallel computes a*b with the row range sharded across workers
+// goroutines (0 = GOMAXPROCS). Shards write disjoint output rows, so no
+// synchronisation is needed beyond the final join.
+func MulParallel(a, b *Matrix, workers int) *Matrix {
+	if a.Cols != b.Rows {
+		panic("mat: MulParallel inner dimension mismatch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 {
+		return Mul(a, b)
+	}
+	out := New(a.Rows, b.Cols)
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := r0 + chunk
+		if r1 > a.Rows {
+			r1 = a.Rows
+		}
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			for kb := 0; kb < a.Cols; kb += matmulBlock {
+				kend := kb + matmulBlock
+				if kend > a.Cols {
+					kend = a.Cols
+				}
+				for i := r0; i < r1; i++ {
+					arow := a.Row(i)
+					orow := out.Row(i)
+					for k := kb; k < kend; k++ {
+						av := arow[k]
+						if av == 0 {
+							continue
+						}
+						brow := b.Row(k)
+						for j, bv := range brow {
+							orow[j] += av * bv
+						}
+					}
+				}
+			}
+		}(r0, r1)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,66 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: MulParallel and MulAuto agree exactly with Mul (same
+// floating-point operation order per output row).
+func TestMulParallelMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, p := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
+		a := New(n, m).RandNormal(rng, 1)
+		b := New(m, p).RandNormal(rng, 1)
+		serial := Mul(a, b)
+		for _, workers := range []int{0, 1, 2, 3} {
+			if !Equal(MulParallel(a, b, workers), serial, 0) {
+				return false
+			}
+		}
+		return Equal(MulAuto(a, b), serial, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulParallelLargeMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := New(128, 96).RandNormal(rng, 1)
+	b := New(96, 128).RandNormal(rng, 1)
+	if !Equal(MulParallel(a, b, 2), Mul(a, b), 0) {
+		t.Fatal("parallel result diverges on large matrix")
+	}
+}
+
+func TestMulParallelDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulParallel(New(2, 3), New(4, 2), 2)
+}
+
+func BenchmarkMulSerial256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(256, 256).RandNormal(rng, 1)
+	y := New(256, 256).RandNormal(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulParallel256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(256, 256).RandNormal(rng, 1)
+	y := New(256, 256).RandNormal(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulParallel(x, y, 0)
+	}
+}

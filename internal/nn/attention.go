@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// SelfAttention is single-head scaled dot-product self-attention over a
+// sequence of n embedding vectors: Q = X·Wqᵀ, K = X·Wkᵀ, V = X·Wvᵀ,
+// Y = softmax(QKᵀ/√d)·V. Input and output are n x Dim matrices.
+type SelfAttention struct {
+	Dim        int
+	Wq, Wk, Wv *Param // Dim x Dim
+}
+
+// NewSelfAttention creates a single-head attention layer.
+func NewSelfAttention(name string, dim int, rng *rand.Rand) *SelfAttention {
+	mk := func(suffix string) *Param {
+		p := NewParam(name+suffix, dim, dim)
+		p.W.GlorotUniform(rng, dim, dim)
+		return p
+	}
+	return &SelfAttention{Dim: dim, Wq: mk(".Wq"), Wk: mk(".Wk"), Wv: mk(".Wv")}
+}
+
+// Params returns the layer's trainable parameters.
+func (a *SelfAttention) Params() []*Param { return []*Param{a.Wq, a.Wk, a.Wv} }
+
+type attnCache struct {
+	x       *mat.Matrix // n x d input
+	q, k, v *mat.Matrix // n x d
+	attn    *mat.Matrix // n x n softmax rows
+}
+
+// Forward computes attention over the sequence x (n rows of Dim features).
+func (a *SelfAttention) Forward(x *mat.Matrix) (*mat.Matrix, *attnCache) {
+	if x.Cols != a.Dim {
+		panic("nn: attention input dim mismatch")
+	}
+	n := x.Rows
+	q := mat.Mul(x, a.Wq.W.T())
+	k := mat.Mul(x, a.Wk.W.T())
+	v := mat.Mul(x, a.Wv.W.T())
+	scores := mat.Mul(q, k.T())
+	scale := 1 / math.Sqrt(float64(a.Dim))
+	attn := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		row := scores.Row(i)
+		for j := range row {
+			row[j] *= scale
+		}
+		mat.Softmax(attn.Row(i), row)
+	}
+	y := mat.Mul(attn, v)
+	return y, &attnCache{x: x, q: q, k: k, v: v, attn: attn}
+}
+
+// Backward accumulates parameter gradients given dL/dY and returns dL/dX.
+func (a *SelfAttention) Backward(c *attnCache, dy *mat.Matrix) *mat.Matrix {
+	n := c.x.Rows
+	d := a.Dim
+	scale := 1 / math.Sqrt(float64(d))
+
+	// Y = A·V: dA = dY·Vᵀ, dV = Aᵀ·dY.
+	dA := mat.Mul(dy, c.v.T())
+	dV := mat.Mul(c.attn.T(), dy)
+
+	// Softmax backward row-wise: dS_ij = A_ij(dA_ij - Σ_k dA_ik A_ik).
+	dS := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		arow := c.attn.Row(i)
+		darow := dA.Row(i)
+		var dot float64
+		for j := range arow {
+			dot += darow[j] * arow[j]
+		}
+		dsrow := dS.Row(i)
+		for j := range arow {
+			dsrow[j] = arow[j] * (darow[j] - dot) * scale
+		}
+	}
+
+	// S = Q·Kᵀ (pre-scale): dQ = dS·K, dK = dSᵀ·Q.
+	dQ := mat.Mul(dS, c.k)
+	dK := mat.Mul(dS.T(), c.q)
+
+	// Q = X·Wqᵀ: dWq = dQᵀ·X, dX += dQ·Wq; same for K, V.
+	a.Wq.G.Add(a.Wq.G, mat.Mul(dQ.T(), c.x))
+	a.Wk.G.Add(a.Wk.G, mat.Mul(dK.T(), c.x))
+	a.Wv.G.Add(a.Wv.G, mat.Mul(dV.T(), c.x))
+
+	dx := mat.Mul(dQ, a.Wq.W)
+	dx.Add(dx, mat.Mul(dK, a.Wk.W))
+	dx.Add(dx, mat.Mul(dV, a.Wv.W))
+	return dx
+}
+
+// LayerNorm normalises each row of a sequence matrix to zero mean and unit
+// variance, then applies a learned affine map.
+type LayerNorm struct {
+	Dim   int
+	Gamma *Param // 1 x Dim
+	Beta  *Param // 1 x Dim
+}
+
+// NewLayerNorm creates a layer-norm with gamma=1, beta=0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	ln := &LayerNorm{Dim: dim, Gamma: NewParam(name+".gamma", 1, dim), Beta: NewParam(name+".beta", 1, dim)}
+	ln.Gamma.W.Fill(1)
+	return ln
+}
+
+// Params returns the layer's trainable parameters.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+const lnEps = 1e-5
+
+type lnCache struct {
+	xhat   *mat.Matrix
+	invStd []float64
+}
+
+// Forward normalises each row of x.
+func (l *LayerNorm) Forward(x *mat.Matrix) (*mat.Matrix, *lnCache) {
+	if x.Cols != l.Dim {
+		panic("nn: layernorm dim mismatch")
+	}
+	n := x.Rows
+	y := mat.New(n, l.Dim)
+	c := &lnCache{xhat: mat.New(n, l.Dim), invStd: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		mean := mat.Mean(row)
+		variance := mat.Variance(row)
+		inv := 1 / math.Sqrt(variance+lnEps)
+		c.invStd[i] = inv
+		xh := c.xhat.Row(i)
+		out := y.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			out[j] = xh[j]*l.Gamma.W.Data[j] + l.Beta.W.Data[j]
+		}
+	}
+	return y, c
+}
+
+// Backward accumulates gamma/beta gradients and returns dL/dX.
+func (l *LayerNorm) Backward(c *lnCache, dy *mat.Matrix) *mat.Matrix {
+	n := dy.Rows
+	d := float64(l.Dim)
+	dx := mat.New(n, l.Dim)
+	for i := 0; i < n; i++ {
+		dyr := dy.Row(i)
+		xh := c.xhat.Row(i)
+		// Parameter gradients.
+		for j := range dyr {
+			l.Gamma.G.Data[j] += dyr[j] * xh[j]
+			l.Beta.G.Data[j] += dyr[j]
+		}
+		// dxhat = dy * gamma.
+		dxh := make([]float64, l.Dim)
+		var sumDxh, sumDxhXh float64
+		for j := range dyr {
+			dxh[j] = dyr[j] * l.Gamma.W.Data[j]
+			sumDxh += dxh[j]
+			sumDxhXh += dxh[j] * xh[j]
+		}
+		inv := c.invStd[i]
+		out := dx.Row(i)
+		for j := range dyr {
+			out[j] = inv * (dxh[j] - sumDxh/d - xh[j]*sumDxhXh/d)
+		}
+	}
+	return dx
+}

@@ -1,0 +1,332 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// RecurrentCell is a stateful sequence cell stepped once per timestep. The
+// full state is a flat vector; its first OutputSize elements are the
+// externally visible hidden output h (for LSTM the remainder is the cell
+// state c).
+type RecurrentCell interface {
+	InputSize() int
+	StateSize() int
+	OutputSize() int
+	// Step consumes input x and previous state, returning the new state
+	// and an opaque cache for StepBackward.
+	Step(x, state []float64) (newState []float64, cache any)
+	// StepBackward consumes dL/d(newState) and accumulates parameter
+	// gradients, returning dL/dx and dL/d(prevState).
+	StepBackward(cache any, dNewState []float64) (dx, dPrevState []float64)
+	Params() []*Param
+}
+
+// ZeroState returns an all-zero initial state for the cell.
+func ZeroState(c RecurrentCell) []float64 { return make([]float64, c.StateSize()) }
+
+// ---------------------------------------------------------------------------
+// Elman RNN: h' = tanh(Wx·x + Wh·h + b)
+
+// RNNCell is the vanilla (Elman) recurrent cell — the paper's base model.
+type RNNCell struct {
+	in, hidden int
+	Wx, Wh, B  *Param
+}
+
+// NewRNNCell creates an Elman cell with Glorot weights and a near-identity
+// recurrent matrix scale.
+func NewRNNCell(name string, in, hidden int, rng *rand.Rand) *RNNCell {
+	c := &RNNCell{in: in, hidden: hidden,
+		Wx: NewParam(name+".Wx", hidden, in),
+		Wh: NewParam(name+".Wh", hidden, hidden),
+		B:  NewParam(name+".b", 1, hidden),
+	}
+	c.Wx.W.GlorotUniform(rng, in, hidden)
+	c.Wh.W.GlorotUniform(rng, hidden, hidden)
+	return c
+}
+
+func (c *RNNCell) InputSize() int  { return c.in }
+func (c *RNNCell) StateSize() int  { return c.hidden }
+func (c *RNNCell) OutputSize() int { return c.hidden }
+func (c *RNNCell) Params() []*Param {
+	return []*Param{c.Wx, c.Wh, c.B}
+}
+
+type rnnCache struct {
+	x, hPrev, hNew []float64
+}
+
+// Step advances the cell one timestep.
+func (c *RNNCell) Step(x, state []float64) ([]float64, any) {
+	z := c.Wx.W.MulVec(x)
+	wh := c.Wh.W.MulVec(state)
+	mat.AddVec(z, z, wh)
+	mat.AddVec(z, z, c.B.W.Data)
+	h := make([]float64, c.hidden)
+	tanhVec(h, z)
+	return h, &rnnCache{x: x, hPrev: state, hNew: h}
+}
+
+// StepBackward backpropagates one timestep.
+func (c *RNNCell) StepBackward(cache any, dh []float64) (dx, dhPrev []float64) {
+	cc := cache.(*rnnCache)
+	da := make([]float64, c.hidden)
+	for i := range da {
+		da[i] = dh[i] * dTanhFromOutput(cc.hNew[i])
+	}
+	c.Wx.G.AddOuter(da, cc.x)
+	c.Wh.G.AddOuter(da, cc.hPrev)
+	mat.AxpyVec(c.B.G.Data, 1, da)
+	return c.Wx.W.TMulVec(da), c.Wh.W.TMulVec(da)
+}
+
+// ---------------------------------------------------------------------------
+// GRU: z = σ(Wz·x + Uz·h + bz), r = σ(Wr·x + Ur·h + br),
+//      c̃ = tanh(Wc·x + Uc·(r∘h) + bc), h' = (1-z)∘h + z∘c̃
+
+// GRUCell is a gated recurrent unit.
+type GRUCell struct {
+	in, hidden             int
+	Wz, Uz, Bz, Wr, Ur, Br *Param
+	Wc, Uc, Bc             *Param
+}
+
+// NewGRUCell creates a GRU cell with Glorot weights.
+func NewGRUCell(name string, in, hidden int, rng *rand.Rand) *GRUCell {
+	mk := func(suffix string, rows, cols, fanIn, fanOut int) *Param {
+		p := NewParam(name+suffix, rows, cols)
+		p.W.GlorotUniform(rng, fanIn, fanOut)
+		return p
+	}
+	return &GRUCell{in: in, hidden: hidden,
+		Wz: mk(".Wz", hidden, in, in, hidden), Uz: mk(".Uz", hidden, hidden, hidden, hidden), Bz: NewParam(name+".bz", 1, hidden),
+		Wr: mk(".Wr", hidden, in, in, hidden), Ur: mk(".Ur", hidden, hidden, hidden, hidden), Br: NewParam(name+".br", 1, hidden),
+		Wc: mk(".Wc", hidden, in, in, hidden), Uc: mk(".Uc", hidden, hidden, hidden, hidden), Bc: NewParam(name+".bc", 1, hidden),
+	}
+}
+
+func (c *GRUCell) InputSize() int  { return c.in }
+func (c *GRUCell) StateSize() int  { return c.hidden }
+func (c *GRUCell) OutputSize() int { return c.hidden }
+func (c *GRUCell) Params() []*Param {
+	return []*Param{c.Wz, c.Uz, c.Bz, c.Wr, c.Ur, c.Br, c.Wc, c.Uc, c.Bc}
+}
+
+type gruCache struct {
+	x, hPrev        []float64
+	z, r, cand, rh  []float64
+}
+
+// Step advances the cell one timestep.
+func (c *GRUCell) Step(x, state []float64) ([]float64, any) {
+	h := state
+	z := make([]float64, c.hidden)
+	r := make([]float64, c.hidden)
+	pre := c.Wz.W.MulVec(x)
+	mat.AddVec(pre, pre, c.Uz.W.MulVec(h))
+	mat.AddVec(pre, pre, c.Bz.W.Data)
+	sigmoidVec(z, pre)
+
+	pre = c.Wr.W.MulVec(x)
+	mat.AddVec(pre, pre, c.Ur.W.MulVec(h))
+	mat.AddVec(pre, pre, c.Br.W.Data)
+	sigmoidVec(r, pre)
+
+	rh := make([]float64, c.hidden)
+	mat.HadamardVec(rh, r, h)
+	pre = c.Wc.W.MulVec(x)
+	mat.AddVec(pre, pre, c.Uc.W.MulVec(rh))
+	mat.AddVec(pre, pre, c.Bc.W.Data)
+	cand := make([]float64, c.hidden)
+	tanhVec(cand, pre)
+
+	hNew := make([]float64, c.hidden)
+	for i := range hNew {
+		hNew[i] = (1-z[i])*h[i] + z[i]*cand[i]
+	}
+	return hNew, &gruCache{x: x, hPrev: h, z: z, r: r, cand: cand, rh: rh}
+}
+
+// StepBackward backpropagates one timestep.
+func (c *GRUCell) StepBackward(cache any, dh []float64) (dx, dhPrev []float64) {
+	cc := cache.(*gruCache)
+	n := c.hidden
+	dz := make([]float64, n)
+	dcand := make([]float64, n)
+	dhp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dz[i] = dh[i] * (cc.cand[i] - cc.hPrev[i])
+		dcand[i] = dh[i] * cc.z[i]
+		dhp[i] = dh[i] * (1 - cc.z[i])
+	}
+	// Through candidate tanh.
+	dcPre := make([]float64, n)
+	for i := range dcPre {
+		dcPre[i] = dcand[i] * dTanhFromOutput(cc.cand[i])
+	}
+	c.Wc.G.AddOuter(dcPre, cc.x)
+	c.Uc.G.AddOuter(dcPre, cc.rh)
+	mat.AxpyVec(c.Bc.G.Data, 1, dcPre)
+	drh := c.Uc.W.TMulVec(dcPre)
+	dr := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dr[i] = drh[i] * cc.hPrev[i]
+		dhp[i] += drh[i] * cc.r[i]
+	}
+	// Through gates.
+	dzPre := make([]float64, n)
+	drPre := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dzPre[i] = dz[i] * dSigmoidFromOutput(cc.z[i])
+		drPre[i] = dr[i] * dSigmoidFromOutput(cc.r[i])
+	}
+	c.Wz.G.AddOuter(dzPre, cc.x)
+	c.Uz.G.AddOuter(dzPre, cc.hPrev)
+	mat.AxpyVec(c.Bz.G.Data, 1, dzPre)
+	c.Wr.G.AddOuter(drPre, cc.x)
+	c.Ur.G.AddOuter(drPre, cc.hPrev)
+	mat.AxpyVec(c.Br.G.Data, 1, drPre)
+
+	mat.AxpyVec(dhp, 1, c.Uz.W.TMulVec(dzPre))
+	mat.AxpyVec(dhp, 1, c.Ur.W.TMulVec(drPre))
+
+	dx = c.Wz.W.TMulVec(dzPre)
+	mat.AxpyVec(dx, 1, c.Wr.W.TMulVec(drPre))
+	mat.AxpyVec(dx, 1, c.Wc.W.TMulVec(dcPre))
+	return dx, dhp
+}
+
+// ---------------------------------------------------------------------------
+// LSTM: i,f,o = σ(...), g = tanh(...), c' = f∘c + i∘g, h' = o∘tanh(c')
+// State layout: [h | c] (StateSize = 2H, OutputSize = H).
+
+// LSTMCell is a long short-term memory cell (used by the LGAN-DP baseline).
+type LSTMCell struct {
+	in, hidden int
+	Wi, Ui, Bi *Param
+	Wf, Uf, Bf *Param
+	Wo, Uo, Bo *Param
+	Wg, Ug, Bg *Param
+}
+
+// NewLSTMCell creates an LSTM cell with Glorot weights and forget bias 1.
+func NewLSTMCell(name string, in, hidden int, rng *rand.Rand) *LSTMCell {
+	mk := func(suffix string, rows, cols, fanIn, fanOut int) *Param {
+		p := NewParam(name+suffix, rows, cols)
+		p.W.GlorotUniform(rng, fanIn, fanOut)
+		return p
+	}
+	c := &LSTMCell{in: in, hidden: hidden,
+		Wi: mk(".Wi", hidden, in, in, hidden), Ui: mk(".Ui", hidden, hidden, hidden, hidden), Bi: NewParam(name+".bi", 1, hidden),
+		Wf: mk(".Wf", hidden, in, in, hidden), Uf: mk(".Uf", hidden, hidden, hidden, hidden), Bf: NewParam(name+".bf", 1, hidden),
+		Wo: mk(".Wo", hidden, in, in, hidden), Uo: mk(".Uo", hidden, hidden, hidden, hidden), Bo: NewParam(name+".bo", 1, hidden),
+		Wg: mk(".Wg", hidden, in, in, hidden), Ug: mk(".Ug", hidden, hidden, hidden, hidden), Bg: NewParam(name+".bg", 1, hidden),
+	}
+	// Standard trick: start with an open forget gate.
+	c.Bf.W.Fill(1)
+	return c
+}
+
+func (c *LSTMCell) InputSize() int  { return c.in }
+func (c *LSTMCell) StateSize() int  { return 2 * c.hidden }
+func (c *LSTMCell) OutputSize() int { return c.hidden }
+func (c *LSTMCell) Params() []*Param {
+	return []*Param{c.Wi, c.Ui, c.Bi, c.Wf, c.Uf, c.Bf, c.Wo, c.Uo, c.Bo, c.Wg, c.Ug, c.Bg}
+}
+
+type lstmCache struct {
+	x, hPrev, cPrev    []float64
+	i, f, o, g, cNew   []float64
+	tanhC              []float64
+}
+
+// Step advances the cell one timestep.
+func (c *LSTMCell) Step(x, state []float64) ([]float64, any) {
+	h := state[:c.hidden]
+	cPrev := state[c.hidden:]
+	gate := func(W, U, B *Param, act func(dst, x []float64)) []float64 {
+		pre := W.W.MulVec(x)
+		mat.AddVec(pre, pre, U.W.MulVec(h))
+		mat.AddVec(pre, pre, B.W.Data)
+		out := make([]float64, c.hidden)
+		act(out, pre)
+		return out
+	}
+	i := gate(c.Wi, c.Ui, c.Bi, sigmoidVec)
+	f := gate(c.Wf, c.Uf, c.Bf, sigmoidVec)
+	o := gate(c.Wo, c.Uo, c.Bo, sigmoidVec)
+	g := gate(c.Wg, c.Ug, c.Bg, tanhVec)
+	cNew := make([]float64, c.hidden)
+	tanhC := make([]float64, c.hidden)
+	newState := make([]float64, 2*c.hidden)
+	for k := 0; k < c.hidden; k++ {
+		cNew[k] = f[k]*cPrev[k] + i[k]*g[k]
+		tanhC[k] = math.Tanh(cNew[k])
+		newState[k] = o[k] * tanhC[k]
+		newState[c.hidden+k] = cNew[k]
+	}
+	return newState, &lstmCache{x: x, hPrev: h, cPrev: cPrev, i: i, f: f, o: o, g: g, cNew: cNew, tanhC: tanhC}
+}
+
+// StepBackward backpropagates one timestep. dState carries [dh | dc].
+func (c *LSTMCell) StepBackward(cache any, dState []float64) (dx, dPrevState []float64) {
+	cc := cache.(*lstmCache)
+	n := c.hidden
+	dh := dState[:n]
+	dcIn := dState[n:]
+	dc := make([]float64, n)
+	do := make([]float64, n)
+	for k := 0; k < n; k++ {
+		do[k] = dh[k] * cc.tanhC[k]
+		dc[k] = dcIn[k] + dh[k]*cc.o[k]*dTanhFromOutput(cc.tanhC[k])
+	}
+	di := make([]float64, n)
+	df := make([]float64, n)
+	dg := make([]float64, n)
+	dcPrev := make([]float64, n)
+	for k := 0; k < n; k++ {
+		di[k] = dc[k] * cc.g[k]
+		df[k] = dc[k] * cc.cPrev[k]
+		dg[k] = dc[k] * cc.i[k]
+		dcPrev[k] = dc[k] * cc.f[k]
+	}
+	// Pre-activation gradients.
+	diPre := make([]float64, n)
+	dfPre := make([]float64, n)
+	doPre := make([]float64, n)
+	dgPre := make([]float64, n)
+	for k := 0; k < n; k++ {
+		diPre[k] = di[k] * dSigmoidFromOutput(cc.i[k])
+		dfPre[k] = df[k] * dSigmoidFromOutput(cc.f[k])
+		doPre[k] = do[k] * dSigmoidFromOutput(cc.o[k])
+		dgPre[k] = dg[k] * dTanhFromOutput(cc.g[k])
+	}
+	acc := func(W, U, B *Param, dPre []float64) {
+		W.G.AddOuter(dPre, cc.x)
+		U.G.AddOuter(dPre, cc.hPrev)
+		mat.AxpyVec(B.G.Data, 1, dPre)
+	}
+	acc(c.Wi, c.Ui, c.Bi, diPre)
+	acc(c.Wf, c.Uf, c.Bf, dfPre)
+	acc(c.Wo, c.Uo, c.Bo, doPre)
+	acc(c.Wg, c.Ug, c.Bg, dgPre)
+
+	dx = c.Wi.W.TMulVec(diPre)
+	mat.AxpyVec(dx, 1, c.Wf.W.TMulVec(dfPre))
+	mat.AxpyVec(dx, 1, c.Wo.W.TMulVec(doPre))
+	mat.AxpyVec(dx, 1, c.Wg.W.TMulVec(dgPre))
+
+	dhPrev := c.Ui.W.TMulVec(diPre)
+	mat.AxpyVec(dhPrev, 1, c.Uf.W.TMulVec(dfPre))
+	mat.AxpyVec(dhPrev, 1, c.Uo.W.TMulVec(doPre))
+	mat.AxpyVec(dhPrev, 1, c.Ug.W.TMulVec(dgPre))
+
+	dPrevState = make([]float64, 2*n)
+	copy(dPrevState[:n], dhPrev)
+	copy(dPrevState[n:], dcPrev)
+	return dx, dPrevState
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Dense is a fully connected layer y = act(W·x + b) over vectors.
+type Dense struct {
+	In, Out int
+	W       *Param // Out x In
+	B       *Param // 1 x Out
+	Act     Activation
+}
+
+// Activation selects the elementwise non-linearity of a Dense layer.
+type Activation int
+
+const (
+	// Linear applies no non-linearity.
+	Linear Activation = iota
+	// Tanh applies tanh.
+	Tanh
+	// Sigmoid applies the logistic function.
+	Sigmoid
+	// ReLU applies max(0, x).
+	ReLU
+)
+
+// NewDense creates a Dense layer with Glorot-uniform weights.
+func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Act: act,
+		W: NewParam(name+".W", out, in),
+		B: NewParam(name+".b", 1, out),
+	}
+	d.W.W.GlorotUniform(rng, in, out)
+	return d
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// denseCache stores what Backward needs from one Forward call.
+type denseCache struct {
+	x []float64 // input
+	y []float64 // post-activation output
+	z []float64 // pre-activation, kept only for ReLU
+}
+
+// Forward computes the layer output and a cache for Backward.
+func (d *Dense) Forward(x []float64) ([]float64, *denseCache) {
+	if len(x) != d.In {
+		panic("nn: Dense input size mismatch")
+	}
+	z := d.W.W.MulVec(x)
+	mat.AddVec(z, z, d.B.W.Data)
+	y := make([]float64, d.Out)
+	switch d.Act {
+	case Linear:
+		copy(y, z)
+	case Tanh:
+		tanhVec(y, z)
+	case Sigmoid:
+		sigmoidVec(y, z)
+	case ReLU:
+		for i, v := range z {
+			y[i] = relu(v)
+		}
+	}
+	c := &denseCache{x: x, y: y}
+	if d.Act == ReLU {
+		c.z = z
+	}
+	return y, c
+}
+
+// Backward accumulates parameter gradients given dL/dy and returns dL/dx.
+func (d *Dense) Backward(c *denseCache, dy []float64) []float64 {
+	if len(dy) != d.Out {
+		panic("nn: Dense gradient size mismatch")
+	}
+	dz := make([]float64, d.Out)
+	switch d.Act {
+	case Linear:
+		copy(dz, dy)
+	case Tanh:
+		for i := range dz {
+			dz[i] = dy[i] * dTanhFromOutput(c.y[i])
+		}
+	case Sigmoid:
+		for i := range dz {
+			dz[i] = dy[i] * dSigmoidFromOutput(c.y[i])
+		}
+	case ReLU:
+		for i := range dz {
+			if c.z[i] > 0 {
+				dz[i] = dy[i]
+			}
+		}
+	}
+	d.W.G.AddOuter(dz, c.x)
+	mat.AxpyVec(d.B.G.Data, 1, dz)
+	return d.W.W.TMulVec(dz)
+}

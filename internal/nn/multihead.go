@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// MultiHeadAttention runs H independent scaled dot-product attention heads
+// over disjoint slices of the model dimension and mixes them with a
+// learned output projection: the standard transformer attention block.
+// Input and output are n x Dim matrices; Dim must be divisible by Heads.
+type MultiHeadAttention struct {
+	Dim, Heads int
+	heads      []*SelfAttention // each over Dim/Heads features
+	Wo         *Param           // Dim x Dim output projection
+}
+
+// NewMultiHeadAttention creates an H-head attention layer.
+func NewMultiHeadAttention(name string, dim, heads int, rng *rand.Rand) *MultiHeadAttention {
+	if heads <= 0 || dim%heads != 0 {
+		panic(fmt.Sprintf("nn: dim %d not divisible by %d heads", dim, heads))
+	}
+	m := &MultiHeadAttention{Dim: dim, Heads: heads, Wo: NewParam(name+".Wo", dim, dim)}
+	m.Wo.W.GlorotUniform(rng, dim, dim)
+	for h := 0; h < heads; h++ {
+		m.heads = append(m.heads, NewSelfAttention(fmt.Sprintf("%s.h%d", name, h), dim/heads, rng))
+	}
+	return m
+}
+
+// Params returns the layer's trainable parameters.
+func (m *MultiHeadAttention) Params() []*Param {
+	ps := []*Param{m.Wo}
+	for _, h := range m.heads {
+		ps = append(ps, h.Params()...)
+	}
+	return ps
+}
+
+type mhaCache struct {
+	headCaches []*attnCache
+	concat     *mat.Matrix // n x Dim head outputs before projection
+}
+
+// Forward computes multi-head attention over the sequence x.
+func (m *MultiHeadAttention) Forward(x *mat.Matrix) (*mat.Matrix, *mhaCache) {
+	if x.Cols != m.Dim {
+		panic("nn: multi-head input dim mismatch")
+	}
+	n := x.Rows
+	hd := m.Dim / m.Heads
+	c := &mhaCache{concat: mat.New(n, m.Dim)}
+	for h, head := range m.heads {
+		// Slice the head's feature band.
+		sub := mat.New(n, hd)
+		for i := 0; i < n; i++ {
+			copy(sub.Row(i), x.Row(i)[h*hd:(h+1)*hd])
+		}
+		out, hc := head.Forward(sub)
+		c.headCaches = append(c.headCaches, hc)
+		for i := 0; i < n; i++ {
+			copy(c.concat.Row(i)[h*hd:(h+1)*hd], out.Row(i))
+		}
+	}
+	y := mat.Mul(c.concat, m.Wo.W.T())
+	return y, c
+}
+
+// Backward accumulates gradients given dL/dY and returns dL/dX.
+func (m *MultiHeadAttention) Backward(c *mhaCache, dy *mat.Matrix) *mat.Matrix {
+	n := dy.Rows
+	hd := m.Dim / m.Heads
+	// Y = concat·Woᵀ: dWo = dYᵀ·concat, dConcat = dY·Wo.
+	m.Wo.G.Add(m.Wo.G, mat.Mul(dy.T(), c.concat))
+	dConcat := mat.Mul(dy, m.Wo.W)
+	dx := mat.New(n, m.Dim)
+	for h, head := range m.heads {
+		dHead := mat.New(n, hd)
+		for i := 0; i < n; i++ {
+			copy(dHead.Row(i), dConcat.Row(i)[h*hd:(h+1)*hd])
+		}
+		dSub := head.Backward(c.headCaches[h], dHead)
+		for i := 0; i < n; i++ {
+			copy(dx.Row(i)[h*hd:(h+1)*hd], dSub.Row(i))
+		}
+	}
+	return dx
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestMultiHeadGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, dim, heads = 3, 6, 2
+	mha := NewMultiHeadAttention("mha", dim, heads, rng)
+	x := mat.New(n, dim).RandNormal(rng, 1)
+	dy := mat.New(n, dim).RandNormal(rng, 1)
+
+	loss := func() float64 {
+		y, _ := mha.Forward(x)
+		var s float64
+		for i := range y.Data {
+			s += dy.Data[i] * y.Data[i]
+		}
+		return s
+	}
+	ZeroGrads(mha.Params())
+	_, cache := mha.Forward(x)
+	dx := mha.Backward(cache, dy)
+
+	const h = 1e-6
+	// Input gradients.
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := loss()
+		x.Data[i] = orig - h
+		lm := loss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dx.Data[i]) > 1e-5 {
+			t.Fatalf("dx[%d]: analytic %v vs numeric %v", i, dx.Data[i], num)
+		}
+	}
+	// Parameter gradients.
+	for _, p := range mha.Params() {
+		for i := range p.W.Data {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + h
+			lp := loss()
+			p.W.Data[i] = orig - h
+			lm := loss()
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-p.G.Data[i]) > 1e-5 {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, p.G.Data[i], num)
+			}
+		}
+	}
+}
+
+func TestMultiHeadValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on indivisible heads")
+		}
+	}()
+	NewMultiHeadAttention("bad", 5, 2, rng)
+}
+
+func TestMultiHeadParamCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mha := NewMultiHeadAttention("m", 8, 4, rng)
+	// Wo + 4 heads x (Wq, Wk, Wv).
+	if got := len(mha.Params()); got != 1+4*3 {
+		t.Fatalf("params = %d", got)
+	}
+	// 8x8 Wo + 12 x (2x2) head matrices.
+	if got := NumParams(mha.Params()); got != 64+12*4 {
+		t.Fatalf("scalars = %d", got)
+	}
+}
+
+func TestMultiHeadDiffersFromSingleHead(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mha := NewMultiHeadAttention("m", 6, 3, rng)
+	x := mat.New(4, 6).RandNormal(rng, 1)
+	y1, _ := mha.Forward(x)
+	// Changing one head's weights changes the output.
+	mha.heads[1].Wq.W.Fill(0)
+	y2, _ := mha.Forward(x)
+	if mat.Equal(y1, y2, 1e-12) {
+		t.Fatal("head weights have no effect")
+	}
+}

@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a portable dump of a model's parameters: names, shapes and
+// weights. It lets a trained pattern-recognition network be persisted and
+// reloaded without retraining (weights of a DP-trained model are
+// themselves DP by post-processing, so storing them is safe).
+type Snapshot struct {
+	Model  string            `json:"model"`
+	Params []ParamSnapshot   `json:"params"`
+}
+
+// ParamSnapshot is one tensor's serialised form.
+type ParamSnapshot struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// Save writes the model's parameters as JSON.
+func Save(m Model, w io.Writer) error {
+	snap := Snapshot{Model: m.Name()}
+	for _, p := range m.Params() {
+		data := make([]float64, len(p.W.Data))
+		copy(data, p.W.Data)
+		snap.Params = append(snap.Params, ParamSnapshot{
+			Name: p.Name, Rows: p.W.Rows, Cols: p.W.Cols, Data: data,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Load restores parameters into an architecturally identical model: the
+// same constructor arguments must have been used, so parameter names and
+// shapes match exactly.
+func Load(m Model, r io.Reader) error {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	byName := map[string]ParamSnapshot{}
+	for _, p := range snap.Params {
+		byName[p.Name] = p
+	}
+	params := m.Params()
+	if len(byName) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d parameters, model has %d", len(byName), len(params))
+	}
+	for _, p := range params {
+		s, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if s.Rows != p.W.Rows || s.Cols != p.W.Cols || len(s.Data) != len(p.W.Data) {
+			return fmt.Errorf("nn: parameter %q shape mismatch: snapshot %dx%d, model %dx%d",
+				p.Name, s.Rows, s.Cols, p.W.Rows, p.W.Cols)
+		}
+		copy(p.W.Data, s.Data)
+	}
+	return nil
+}

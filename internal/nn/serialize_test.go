@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewAttentiveGRUModel("m", 4, 2, 6, 8, rng)
+	window := []float64{0.1, 0.4, 0.2, 0.9}
+	ctx := []float64{0.3, 0.7}
+	want := Predict(src, window, ctx)
+
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh model with different random weights, same architecture.
+	dst := NewAttentiveGRUModel("m", 4, 2, 6, 8, rand.New(rand.NewSource(999)))
+	if Predict(dst, window, ctx) == want {
+		t.Fatal("fresh model coincidentally identical — test is vacuous")
+	}
+	if err := Load(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := Predict(dst, window, ctx); got != want {
+		t.Fatalf("restored prediction %v, want %v", got, want)
+	}
+}
+
+func TestLoadRejectsArchitectureMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := NewRecurrentModel("m", 4, 0, 4, NewRNNCell("c", 4, 4, rng), rng)
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different hidden size → shape mismatch.
+	other := NewRecurrentModel("m", 4, 0, 4, NewRNNCell("c", 4, 8, rng), rng)
+	if err := Load(other, &buf); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+	// Different architecture → parameter-name mismatch.
+	buf.Reset()
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	gru := NewAttentiveGRUModel("m", 4, 0, 4, 4, rng)
+	if err := Load(gru, &buf); err == nil {
+		t.Fatal("expected parameter-count error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewRecurrentModel("m", 4, 0, 4, NewRNNCell("c", 4, 4, rng), rng)
+	if err := Load(m, strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/timeseries"
+)
+
+// TrainConfig holds the training hyper-parameters of Appendix C.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	ClipNorm  float64 // 0 disables gradient clipping
+}
+
+// DefaultTrainConfig mirrors the paper's setup: 20 epochs, batch 32.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 20, BatchSize: 32, ClipNorm: 5}
+}
+
+// Trainer fits a Model on supervised windows with mini-batch gradient
+// descent and MSE loss.
+type Trainer struct {
+	Model Model
+	Opt   Optimizer
+	Cfg   TrainConfig
+	Rng   *rand.Rand
+}
+
+// Fit trains the model and returns the mean training loss of each epoch.
+func (tr *Trainer) Fit(samples []timeseries.Window) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("nn: no training samples")
+	}
+	if tr.Cfg.Epochs <= 0 || tr.Cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("nn: invalid config %+v", tr.Cfg)
+	}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	params := tr.Model.Params()
+	losses := make([]float64, 0, tr.Cfg.Epochs)
+	for epoch := 0; epoch < tr.Cfg.Epochs; epoch++ {
+		tr.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += tr.Cfg.BatchSize {
+			end := start + tr.Cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			ZeroGrads(params)
+			batch := idx[start:end]
+			for _, si := range batch {
+				s := samples[si]
+				pred, cache := tr.Model.Forward(s.Input, s.Ctx)
+				diff := pred - s.Target
+				epochLoss += diff * diff
+				// d(MSE)/dpred averaged over the batch.
+				tr.Model.Backward(cache, 2*diff/float64(len(batch)))
+			}
+			ClipGrads(params, tr.Cfg.ClipNorm)
+			tr.Opt.Step(params)
+		}
+		losses = append(losses, epochLoss/float64(len(samples)))
+		if err := CheckFinite(params); err != nil {
+			return losses, fmt.Errorf("nn: training diverged at epoch %d: %w", epoch, err)
+		}
+	}
+	return losses, nil
+}
+
+// Evaluate returns the MAE and RMSE of the model over the samples.
+func Evaluate(m Model, samples []timeseries.Window) (mae, rmse float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	truth := make([]float64, len(samples))
+	pred := make([]float64, len(samples))
+	for i, s := range samples {
+		truth[i] = s.Target
+		pred[i] = Predict(m, s.Input, s.Ctx)
+	}
+	return timeseries.MAE(truth, pred), timeseries.RMSE(truth, pred)
+}
+
+// Rollout autoregressively extends a seed window by horizon steps under a
+// fixed context vector, returning the predicted continuation.
+func Rollout(m Model, seed, ctx []float64, horizon int) []float64 {
+	ws := m.WindowSize()
+	if len(seed) < ws {
+		panic(fmt.Sprintf("nn: rollout seed %d shorter than window %d", len(seed), ws))
+	}
+	window := make([]float64, ws)
+	copy(window, seed[len(seed)-ws:])
+	out := make([]float64, horizon)
+	for i := 0; i < horizon; i++ {
+		p := Predict(m, window, ctx)
+		out[i] = p
+		copy(window, window[1:])
+		window[ws-1] = p
+	}
+	return out
+}

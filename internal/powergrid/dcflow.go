@@ -1,0 +1,117 @@
+package powergrid
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// The DC power-flow substrate backs the WPO baseline's optimal-power-flow
+// framing and lets planning examples check that a candidate battery
+// placement keeps line loadings feasible. The DC approximation linearises
+// AC power flow: line flow = (θ_i - θ_j)/x_ij with bus angles θ solved
+// from B·θ = P (B the susceptance Laplacian, P the net injections).
+
+// Bus is a node of the transmission network.
+type Bus struct {
+	ID string
+	// InjectionKW is generation minus load at the bus (positive = source).
+	InjectionKW float64
+}
+
+// Line is a transmission element between two buses.
+type Line struct {
+	From, To string
+	// Reactance in per-unit; must be positive.
+	Reactance float64
+	// LimitKW is the thermal limit (0 = unlimited).
+	LimitKW float64
+}
+
+// FlowNetwork is a DC power-flow case.
+type FlowNetwork struct {
+	Buses []*Bus
+	Lines []*Line
+}
+
+// Flow is a solved line flow.
+type Flow struct {
+	Line   *Line
+	PowerKW float64
+	// Overloaded reports whether |PowerKW| exceeds the line limit.
+	Overloaded bool
+}
+
+// Solve runs a DC power flow. Injections must balance to zero within tol
+// (the slack is implicit: the first bus absorbs the residual). It returns
+// per-line flows.
+func (n *FlowNetwork) Solve() ([]Flow, error) {
+	nb := len(n.Buses)
+	if nb < 2 {
+		return nil, fmt.Errorf("powergrid: need at least two buses, have %d", nb)
+	}
+	idx := map[string]int{}
+	for i, b := range n.Buses {
+		if _, dup := idx[b.ID]; dup {
+			return nil, fmt.Errorf("powergrid: duplicate bus %q", b.ID)
+		}
+		idx[b.ID] = i
+	}
+	// Susceptance Laplacian.
+	B := mat.New(nb, nb)
+	for _, l := range n.Lines {
+		if l.Reactance <= 0 {
+			return nil, fmt.Errorf("powergrid: line %s-%s has non-positive reactance", l.From, l.To)
+		}
+		i, ok := idx[l.From]
+		if !ok {
+			return nil, fmt.Errorf("powergrid: line references unknown bus %q", l.From)
+		}
+		j, ok := idx[l.To]
+		if !ok {
+			return nil, fmt.Errorf("powergrid: line references unknown bus %q", l.To)
+		}
+		b := 1 / l.Reactance
+		B.Set(i, i, B.At(i, i)+b)
+		B.Set(j, j, B.At(j, j)+b)
+		B.Set(i, j, B.At(i, j)-b)
+		B.Set(j, i, B.At(j, i)-b)
+	}
+	// Reduce: bus 0 is the slack with θ=0; solve the (nb-1) system.
+	red := mat.New(nb-1, nb-1)
+	p := make([]float64, nb-1)
+	for i := 1; i < nb; i++ {
+		p[i-1] = n.Buses[i].InjectionKW
+		for j := 1; j < nb; j++ {
+			red.Set(i-1, j-1, B.At(i, j))
+		}
+	}
+	thetaRed, err := mat.Solve(red, p)
+	if err != nil {
+		return nil, fmt.Errorf("powergrid: network is disconnected or singular: %w", err)
+	}
+	theta := make([]float64, nb)
+	copy(theta[1:], thetaRed)
+
+	flows := make([]Flow, 0, len(n.Lines))
+	for _, l := range n.Lines {
+		i, j := idx[l.From], idx[l.To]
+		pw := (theta[i] - theta[j]) / l.Reactance
+		f := Flow{Line: l, PowerKW: pw}
+		if l.LimitKW > 0 && (pw > l.LimitKW || pw < -l.LimitKW) {
+			f.Overloaded = true
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+// Feasible reports whether a solved case has no overloaded lines.
+func Feasible(flows []Flow) bool {
+	for _, f := range flows {
+		if f.Overloaded {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package powergrid
+
+import (
+	"math"
+	"testing"
+)
+
+// twoBusCase: generator at A injects 100, load at B consumes 100, single
+// line — the flow must be exactly 100 from A to B.
+func TestDCFlowTwoBus(t *testing.T) {
+	n := &FlowNetwork{
+		Buses: []*Bus{{ID: "A", InjectionKW: 100}, {ID: "B", InjectionKW: -100}},
+		Lines: []*Line{{From: "A", To: "B", Reactance: 0.1}},
+	}
+	flows, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || math.Abs(flows[0].PowerKW-100) > 1e-9 {
+		t.Fatalf("flow = %+v", flows)
+	}
+	if !Feasible(flows) {
+		t.Fatal("unlimited line reported overloaded")
+	}
+}
+
+// Parallel paths split inversely to reactance.
+func TestDCFlowParallelPathSplit(t *testing.T) {
+	n := &FlowNetwork{
+		Buses: []*Bus{{ID: "A", InjectionKW: 90}, {ID: "B", InjectionKW: -90}},
+		Lines: []*Line{
+			{From: "A", To: "B", Reactance: 0.1}, // susceptance 10
+			{From: "A", To: "B", Reactance: 0.2}, // susceptance 5
+		},
+	}
+	flows, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2:1 split → 60 and 30.
+	if math.Abs(flows[0].PowerKW-60) > 1e-9 || math.Abs(flows[1].PowerKW-30) > 1e-9 {
+		t.Fatalf("split = %v / %v", flows[0].PowerKW, flows[1].PowerKW)
+	}
+}
+
+// Kirchhoff: flows around a triangle must balance at every bus.
+func TestDCFlowKirchhoff(t *testing.T) {
+	n := &FlowNetwork{
+		Buses: []*Bus{
+			{ID: "A", InjectionKW: 50},
+			{ID: "B", InjectionKW: 20},
+			{ID: "C", InjectionKW: -70},
+		},
+		Lines: []*Line{
+			{From: "A", To: "B", Reactance: 0.1},
+			{From: "B", To: "C", Reactance: 0.1},
+			{From: "A", To: "C", Reactance: 0.1},
+		},
+	}
+	flows, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := map[string]float64{"A": 50, "B": 20, "C": -70}
+	for _, f := range flows {
+		net[f.Line.From] -= f.PowerKW
+		net[f.Line.To] += f.PowerKW
+	}
+	for bus, residual := range net {
+		if math.Abs(residual) > 1e-9 {
+			t.Fatalf("bus %s power imbalance %v", bus, residual)
+		}
+	}
+}
+
+func TestDCFlowOverloadDetection(t *testing.T) {
+	n := &FlowNetwork{
+		Buses: []*Bus{{ID: "A", InjectionKW: 100}, {ID: "B", InjectionKW: -100}},
+		Lines: []*Line{{From: "A", To: "B", Reactance: 0.1, LimitKW: 50}},
+	}
+	flows, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flows[0].Overloaded || Feasible(flows) {
+		t.Fatal("overload not detected")
+	}
+}
+
+func TestDCFlowValidation(t *testing.T) {
+	cases := []*FlowNetwork{
+		{Buses: []*Bus{{ID: "A"}}},
+		{Buses: []*Bus{{ID: "A"}, {ID: "A"}}, Lines: []*Line{{From: "A", To: "A", Reactance: 1}}},
+		{Buses: []*Bus{{ID: "A"}, {ID: "B"}}, Lines: []*Line{{From: "A", To: "X", Reactance: 1}}},
+		{Buses: []*Bus{{ID: "A"}, {ID: "B"}}, Lines: []*Line{{From: "A", To: "B", Reactance: 0}}},
+		// Disconnected: no lines at all.
+		{Buses: []*Bus{{ID: "A", InjectionKW: 1}, {ID: "B", InjectionKW: -1}}},
+	}
+	for i, c := range cases {
+		if _, err := c.Solve(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

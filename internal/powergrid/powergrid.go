@@ -1,0 +1,266 @@
+// Package powergrid implements the planning substrate of Section 3.2 and
+// Figure 3: a power-network graph of consumers (with renewable production)
+// and mobile storage elements (batteries), where placement and assignment
+// decisions are made from the *released* (noisy) consumption matrix via
+// minimum-bounding-rectangle range estimates — the downstream application
+// the paper motivates STPT with.
+package powergrid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// Point is a continuous position in grid-cell units (cell (i, j) spans
+// [i, i+1) x [j, j+1)).
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Consumer is a grid customer; producers own renewable sources whose
+// surplus the planner wants to store nearby.
+type Consumer struct {
+	ID       string
+	Pos      Point
+	Producer bool
+}
+
+// Battery is a mobile storage element.
+type Battery struct {
+	ID  string
+	Pos Point
+}
+
+// Network is the power-network graph: consumers, batteries and the
+// consumer→battery connection assignment.
+type Network struct {
+	Consumers []*Consumer
+	Batteries []*Battery
+	// Assignment maps consumer ID to battery ID.
+	Assignment map[string]string
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{Assignment: map[string]string{}}
+}
+
+// AddConsumer appends a consumer; IDs must be unique.
+func (n *Network) AddConsumer(id string, x, y float64, producer bool) *Consumer {
+	c := &Consumer{ID: id, Pos: Point{x, y}, Producer: producer}
+	n.Consumers = append(n.Consumers, c)
+	return c
+}
+
+// AddBattery appends a battery; IDs must be unique.
+func (n *Network) AddBattery(id string, x, y float64) *Battery {
+	b := &Battery{ID: id, Pos: Point{x, y}}
+	n.Batteries = append(n.Batteries, b)
+	return b
+}
+
+// AssignNearest connects every consumer to its nearest battery — the
+// information-free initial assignment of Figure 3(a).
+func (n *Network) AssignNearest() {
+	for _, c := range n.Consumers {
+		best, bestD := "", math.Inf(1)
+		for _, b := range n.Batteries {
+			if d := c.Pos.Dist(b.Pos); d < bestD {
+				best, bestD = b.ID, d
+			}
+		}
+		n.Assignment[c.ID] = best
+	}
+}
+
+// TotalWireLength is the planning objective: summed consumer-to-battery
+// distance (a proxy for transport loss).
+func (n *Network) TotalWireLength() float64 {
+	byID := map[string]*Battery{}
+	for _, b := range n.Batteries {
+		byID[b.ID] = b
+	}
+	var total float64
+	for _, c := range n.Consumers {
+		if b, ok := byID[n.Assignment[c.ID]]; ok {
+			total += c.Pos.Dist(b.Pos)
+		}
+	}
+	return total
+}
+
+// MBR is an axis-aligned minimum bounding rectangle in cell units.
+type MBR struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// BoundingRect computes the MBR of a set of points, padded so degenerate
+// (collinear or single-point) sets still enclose area.
+func BoundingRect(points []Point, pad float64) MBR {
+	if len(points) == 0 {
+		panic("powergrid: MBR of no points")
+	}
+	r := MBR{math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1)}
+	for _, p := range points {
+		r.X0 = math.Min(r.X0, p.X)
+		r.Y0 = math.Min(r.Y0, p.Y)
+		r.X1 = math.Max(r.X1, p.X)
+		r.Y1 = math.Max(r.Y1, p.Y)
+	}
+	r.X0 -= pad
+	r.Y0 -= pad
+	r.X1 += pad
+	r.Y1 += pad
+	return r
+}
+
+// overlap returns the fraction of unit cell (cx, cy) covered by the MBR.
+func (r MBR) overlap(cx, cy int) float64 {
+	w := math.Min(r.X1, float64(cx+1)) - math.Max(r.X0, float64(cx))
+	h := math.Min(r.Y1, float64(cy+1)) - math.Max(r.Y0, float64(cy))
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// EstimateEnergy estimates the energy within the MBR over the inclusive
+// time range [t0, t1] from a released consumption matrix, weighting each
+// intersected cell by its overlap area (the Figure 3 estimation step).
+func EstimateEnergy(release *grid.Matrix, r MBR, t0, t1 int) float64 {
+	if t0 < 0 || t1 >= release.Ct || t0 > t1 {
+		panic(fmt.Sprintf("powergrid: time range [%d,%d] outside horizon %d", t0, t1, release.Ct))
+	}
+	x0 := clampInt(int(math.Floor(r.X0)), 0, release.Cx-1)
+	x1 := clampInt(int(math.Ceil(r.X1))-1, 0, release.Cx-1)
+	y0 := clampInt(int(math.Floor(r.Y0)), 0, release.Cy-1)
+	y1 := clampInt(int(math.Ceil(r.Y1))-1, 0, release.Cy-1)
+	var sum float64
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			frac := r.overlap(x, y)
+			if frac == 0 {
+				continue
+			}
+			for t := t0; t <= t1; t++ {
+				sum += frac * release.At(x, y, t)
+			}
+		}
+	}
+	return sum
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Move records one battery relocation decided by Rebalance.
+type Move struct {
+	BatteryID string
+	From, To  Point
+	// Gained/Lost name the producer consumers attached and detached.
+	Gained, Lost []string
+	// Energy is the estimated surplus at the destination pair.
+	Energy float64
+}
+
+// Rebalance implements the Figure 3 adjustment: for every battery it
+// evaluates pairs of producer consumers by the estimated energy inside
+// their padded MBR (from the released matrix over [t0, t1]), relocates the
+// battery to the best pair's midpoint when that pair beats the battery's
+// current producer neighbourhood, and reassigns all consumers to their
+// nearest battery afterwards. A battery serves a local neighbourhood, so
+// only pairs within 4*pad of each other are candidates — otherwise a
+// continent-sized MBR would trivially enclose the most energy. It returns
+// the moves performed.
+func (n *Network) Rebalance(release *grid.Matrix, t0, t1 int, pad float64) []Move {
+	maxSpan := 4 * pad
+	producers := make([]*Consumer, 0, len(n.Consumers))
+	for _, c := range n.Consumers {
+		if c.Producer {
+			producers = append(producers, c)
+		}
+	}
+	if len(producers) < 2 {
+		return nil
+	}
+	var moves []Move
+	taken := map[string]bool{} // producers already claimed by a relocation
+	for _, b := range n.Batteries {
+		// Current neighbourhood estimate: the MBR of the (at most) two
+		// assigned producers nearest the battery — the pair it is
+		// physically serving, per the Figure 3 comparison of MBR(C5, C6)
+		// against MBR(C4, C10).
+		var assigned []*Consumer
+		for _, c := range producers {
+			if n.Assignment[c.ID] == b.ID {
+				assigned = append(assigned, c)
+			}
+		}
+		sort.Slice(assigned, func(i, j int) bool {
+			return assigned[i].Pos.Dist(b.Pos) < assigned[j].Pos.Dist(b.Pos)
+		})
+		if len(assigned) > 2 {
+			assigned = assigned[:2]
+		}
+		curEnergy := 0.0
+		curIDs := make([]string, 0, 2)
+		if len(assigned) > 0 {
+			pts := make([]Point, len(assigned))
+			for i, c := range assigned {
+				pts[i] = c.Pos
+				curIDs = append(curIDs, c.ID)
+			}
+			curEnergy = EstimateEnergy(release, BoundingRect(pts, pad), t0, t1)
+		}
+		// Best available producer pair.
+		bestEnergy := curEnergy
+		var bestPair [2]*Consumer
+		for i := 0; i < len(producers); i++ {
+			for j := i + 1; j < len(producers); j++ {
+				a, c := producers[i], producers[j]
+				if taken[a.ID] || taken[c.ID] || a.Pos.Dist(c.Pos) > maxSpan {
+					continue
+				}
+				e := EstimateEnergy(release, BoundingRect([]Point{a.Pos, c.Pos}, pad), t0, t1)
+				if e > bestEnergy {
+					bestEnergy = e
+					bestPair = [2]*Consumer{a, c}
+				}
+			}
+		}
+		if bestPair[0] == nil {
+			continue
+		}
+		from := b.Pos
+		b.Pos = Point{(bestPair[0].Pos.X + bestPair[1].Pos.X) / 2, (bestPair[0].Pos.Y + bestPair[1].Pos.Y) / 2}
+		taken[bestPair[0].ID] = true
+		taken[bestPair[1].ID] = true
+		sort.Strings(curIDs)
+		moves = append(moves, Move{
+			BatteryID: b.ID,
+			From:      from,
+			To:        b.Pos,
+			Gained:    []string{bestPair[0].ID, bestPair[1].ID},
+			Lost:      curIDs,
+			Energy:    bestEnergy,
+		})
+	}
+	n.AssignNearest()
+	return moves
+}

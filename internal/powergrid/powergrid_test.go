@@ -1,0 +1,172 @@
+package powergrid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestBoundingRect(t *testing.T) {
+	r := BoundingRect([]Point{{1, 2}, {4, 1}, {2, 5}}, 0)
+	if r.X0 != 1 || r.Y0 != 1 || r.X1 != 4 || r.Y1 != 5 {
+		t.Fatalf("MBR = %+v", r)
+	}
+	padded := BoundingRect([]Point{{2, 2}}, 0.5)
+	if padded.X0 != 1.5 || padded.X1 != 2.5 {
+		t.Fatalf("padded MBR = %+v", padded)
+	}
+}
+
+func TestBoundingRectPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BoundingRect(nil, 0)
+}
+
+func TestOverlapFractions(t *testing.T) {
+	r := MBR{X0: 0.5, Y0: 0.5, X1: 1.5, Y1: 1.5}
+	// Quarter of each of the four cells around (1,1).
+	for _, c := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		if got := r.overlap(c[0], c[1]); math.Abs(got-0.25) > 1e-12 {
+			t.Fatalf("overlap(%v) = %v", c, got)
+		}
+	}
+	if r.overlap(3, 3) != 0 {
+		t.Fatal("distant cell overlaps")
+	}
+}
+
+func TestEstimateEnergyExactCover(t *testing.T) {
+	m := grid.NewMatrix(4, 4, 2)
+	m.Set(1, 1, 0, 10)
+	m.Set(1, 1, 1, 5)
+	m.Set(2, 1, 0, 3)
+	// MBR covering exactly cell (1,1).
+	full := MBR{X0: 1, Y0: 1, X1: 2, Y1: 2}
+	if got := EstimateEnergy(m, full, 0, 1); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("full-cell estimate %v, want 15", got)
+	}
+	// Half of cell (1,1), time 0 only.
+	half := MBR{X0: 1, Y0: 1, X1: 1.5, Y1: 2}
+	if got := EstimateEnergy(m, half, 0, 0); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("half-cell estimate %v, want 5", got)
+	}
+}
+
+func TestEstimateEnergyTimeRangePanics(t *testing.T) {
+	m := grid.NewMatrix(2, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EstimateEnergy(m, MBR{0, 0, 1, 1}, 0, 5)
+}
+
+// Property: estimated energy is monotone in the MBR — growing the
+// rectangle never decreases the estimate on a non-negative matrix.
+func TestEstimateMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := grid.NewMatrix(6, 6, 3)
+		for i := range m.Data() {
+			m.Data()[i] = rng.Float64()
+		}
+		x0, y0 := rng.Float64()*3, rng.Float64()*3
+		w, h := rng.Float64()*2, rng.Float64()*2
+		inner := MBR{x0, y0, x0 + w, y0 + h}
+		outer := MBR{x0 - 0.5, y0 - 0.5, x0 + w + 0.5, y0 + h + 0.5}
+		return EstimateEnergy(m, outer, 0, 2) >= EstimateEnergy(m, inner, 0, 2)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignNearest(t *testing.T) {
+	n := NewNetwork()
+	n.AddBattery("B1", 0, 0)
+	n.AddBattery("B2", 10, 10)
+	n.AddConsumer("C1", 1, 1, false)
+	n.AddConsumer("C2", 9, 9, false)
+	n.AssignNearest()
+	if n.Assignment["C1"] != "B1" || n.Assignment["C2"] != "B2" {
+		t.Fatalf("assignment = %v", n.Assignment)
+	}
+	if n.TotalWireLength() <= 0 {
+		t.Fatal("wire length should be positive")
+	}
+}
+
+// The Figure 3 scenario: a battery initially near a low-production pair
+// relocates to the high-production pair revealed by the noisy release.
+func TestRebalanceMovesBatteryToHotspot(t *testing.T) {
+	release := grid.NewMatrix(8, 8, 4)
+	// High production around cells (6,6) and (7,7); low elsewhere.
+	for tt := 0; tt < 4; tt++ {
+		release.Set(6, 6, tt, 50)
+		release.Set(7, 7, tt, 50)
+		release.Set(1, 1, tt, 1)
+		release.Set(2, 2, tt, 1)
+	}
+	n := NewNetwork()
+	n.AddBattery("B1", 1.5, 1.5)
+	n.AddConsumer("C5", 1.2, 1.2, true)
+	n.AddConsumer("C6", 2.2, 2.2, true)
+	n.AddConsumer("C4", 6.5, 6.5, true)
+	n.AddConsumer("C10", 7.5, 7.5, true)
+	n.AssignNearest()
+
+	moves := n.Rebalance(release, 0, 3, 0.5)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %+v", moves)
+	}
+	mv := moves[0]
+	if mv.BatteryID != "B1" {
+		t.Fatalf("moved battery %s", mv.BatteryID)
+	}
+	gained := map[string]bool{mv.Gained[0]: true, mv.Gained[1]: true}
+	if !gained["C4"] || !gained["C10"] {
+		t.Fatalf("battery should claim the hotspot pair, got %v", mv.Gained)
+	}
+	// After relocation the battery sits near the hotspot midpoint (7,7).
+	if n.Batteries[0].Pos.Dist(Point{7, 7}) > 1.5 {
+		t.Fatalf("battery position %+v not at hotspot", n.Batteries[0].Pos)
+	}
+}
+
+func TestRebalanceNoProducersNoMoves(t *testing.T) {
+	release := grid.NewMatrix(4, 4, 2)
+	n := NewNetwork()
+	n.AddBattery("B1", 1, 1)
+	n.AddConsumer("C1", 0, 0, false)
+	n.AssignNearest()
+	if moves := n.Rebalance(release, 0, 1, 0.5); moves != nil {
+		t.Fatalf("expected no moves, got %+v", moves)
+	}
+}
+
+func TestRebalanceKeepsGoodPlacement(t *testing.T) {
+	release := grid.NewMatrix(8, 8, 2)
+	for tt := 0; tt < 2; tt++ {
+		release.Set(1, 1, tt, 100)
+		release.Set(2, 2, tt, 100)
+	}
+	n := NewNetwork()
+	n.AddBattery("B1", 1.5, 1.5)
+	n.AddConsumer("C1", 1.4, 1.4, true)
+	n.AddConsumer("C2", 2.4, 2.4, true)
+	n.AssignNearest()
+	moves := n.Rebalance(release, 0, 1, 0.5)
+	// Relocation to the same pair is acceptable only if it improves the
+	// estimate; the battery must stay near the hotspot either way.
+	if n.Batteries[0].Pos.Dist(Point{1.9, 1.9}) > 1.5 {
+		t.Fatalf("battery drifted to %+v (moves %+v)", n.Batteries[0].Pos, moves)
+	}
+}

@@ -1,0 +1,217 @@
+// Package quadtree implements the data-independent spatio-temporal quadtree
+// of Section 4.2: the training prefix of the time axis is cut into one
+// segment per tree level, level d splits the spatial grid into 4^d
+// neighbourhoods, and each neighbourhood contributes a representative
+// (user-averaged, Eq. 9) time series over its level's segment. Sensitivity
+// shrinks geometrically with height (Theorem 6), so macro trends are
+// sanitised with far less noise than per-cell data would need.
+package quadtree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/timeseries"
+)
+
+// Params configures tree construction.
+type Params struct {
+	Cx, Cy int // spatial grid (Cx and Cy must be powers of two, Cx <= Cy)
+	Depth  int // deepest level; levels 0..Depth inclusive
+	TTrain int // training prefix length along the time axis
+}
+
+// Validate checks structural requirements.
+func (p Params) Validate() error {
+	if p.Cx <= 0 || p.Cy <= 0 || !isPow2(p.Cx) || !isPow2(p.Cy) {
+		return fmt.Errorf("quadtree: grid %dx%d must be positive powers of two", p.Cx, p.Cy)
+	}
+	maxDepth := log2(min(p.Cx, p.Cy))
+	if p.Depth < 0 || p.Depth > maxDepth {
+		return fmt.Errorf("quadtree: depth %d outside [0, %d]", p.Depth, maxDepth)
+	}
+	if p.TTrain < p.Depth+1 {
+		return fmt.Errorf("quadtree: TTrain %d too short for %d levels", p.TTrain, p.Depth+1)
+	}
+	return nil
+}
+
+// Levels returns the number of tree levels (Depth+1).
+func (p Params) Levels() int { return p.Depth + 1 }
+
+// SegmentLen returns T'_train = ceil(TTrain / levels) (Eq. 8).
+func (p Params) SegmentLen() int {
+	return (p.TTrain + p.Levels() - 1) / p.Levels()
+}
+
+// Neighborhood is one spatial block at some tree level, with its
+// representative series over the level's time segment.
+type Neighborhood struct {
+	X0, X1, Y0, Y1 int // inclusive cell bounds
+	Users          int // households inside the block
+	Series         []float64
+}
+
+// Contains reports whether cell (x, y) falls inside the block.
+func (n *Neighborhood) Contains(x, y int) bool {
+	return x >= n.X0 && x <= n.X1 && y >= n.Y0 && y <= n.Y1
+}
+
+// Level groups the 4^Depth neighbourhoods sharing one time segment.
+type Level struct {
+	Depth          int
+	TimeStart      int // inclusive
+	TimeEnd        int // exclusive
+	Sensitivity    float64
+	Neighborhoods  []*Neighborhood
+}
+
+// Tree is the constructed spatio-temporal quadtree.
+type Tree struct {
+	Params Params
+	Levels []*Level
+}
+
+// Build constructs the tree from a (normalised) dataset. A neighbourhood's
+// representative series is the mean *cell total* across the
+// neighbourhood's cells at each time step of the level's segment — the
+// quantity whose sensitivity Theorem 6 bounds: one household changes one
+// cell's total by at most 1 (normalised), hence the representative by
+// 1/#cells = 1/4^(log2(Cx)-depth). At the leaf level the representative
+// is the cell's total itself, so the learned pattern estimates C_norm's
+// cell sums (capturing household density as well as per-user usage).
+// Empty neighbourhoods yield all-zero series.
+func Build(d *timeseries.Dataset, p Params) (*Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("quadtree: %w", err)
+	}
+	if d.Cx != p.Cx || d.Cy != p.Cy {
+		return nil, fmt.Errorf("quadtree: dataset grid %dx%d != params %dx%d", d.Cx, d.Cy, p.Cx, p.Cy)
+	}
+	if d.T() < p.TTrain {
+		return nil, fmt.Errorf("quadtree: dataset length %d < TTrain %d", d.T(), p.TTrain)
+	}
+	seg := p.SegmentLen()
+	t := &Tree{Params: p}
+	for depth := 0; depth <= p.Depth; depth++ {
+		start := depth * seg
+		end := start + seg
+		if end > p.TTrain {
+			end = p.TTrain
+		}
+		if start >= end {
+			// TTrain not divisible: deepest levels can run out of time
+			// budget; give them the final reading so every level trains.
+			start, end = p.TTrain-1, p.TTrain
+		}
+		lvl := &Level{
+			Depth:       depth,
+			TimeStart:   start,
+			TimeEnd:     end,
+			Sensitivity: Sensitivity(depth, p.Cx),
+		}
+		side := 1 << depth
+		bw := p.Cx / side // block width in cells
+		bh := p.Cy / side
+		for by := 0; by < side; by++ {
+			for bx := 0; bx < side; bx++ {
+				lvl.Neighborhoods = append(lvl.Neighborhoods, &Neighborhood{
+					X0: bx * bw, X1: (bx+1)*bw - 1,
+					Y0: by * bh, Y1: (by+1)*bh - 1,
+					Series: make([]float64, end-start),
+				})
+			}
+		}
+		// Accumulate household series into their blocks.
+		for _, s := range d.Series {
+			nb := lvl.Neighborhoods[(s.Location.Y/bh)*side+s.Location.X/bw]
+			nb.Users++
+			for i := start; i < end; i++ {
+				nb.Series[i-start] += s.Values[i]
+			}
+		}
+		cellsPerNeighborhood := float64(bw * bh)
+		for _, nb := range lvl.Neighborhoods {
+			inv := 1 / cellsPerNeighborhood
+			for i := range nb.Series {
+				nb.Series[i] *= inv
+			}
+		}
+		t.Levels = append(t.Levels, lvl)
+	}
+	return t, nil
+}
+
+// Sensitivity returns Theorem 6's bound 1/4^(log2(Cx)-depth) for a
+// representative-series element at the given depth.
+func Sensitivity(depth, cx int) float64 {
+	return 1 / math.Pow(4, float64(log2(cx)-depth))
+}
+
+// Sanitize perturbs every representative series element with Laplace noise
+// at the level's Theorem-6 sensitivity and per-timestamp budget
+// epsPattern/tTrain (Algorithm 1, line 10), in place. It returns the total
+// budget charged, which by sequential composition over the TTrain
+// timestamps is at most epsPattern.
+func (t *Tree) Sanitize(lap *dp.Laplace, epsPattern float64) float64 {
+	if epsPattern <= 0 {
+		panic(fmt.Sprintf("quadtree: non-positive pattern budget %v", epsPattern))
+	}
+	perStep := epsPattern / float64(t.Params.TTrain)
+	var charged float64
+	for _, lvl := range t.Levels {
+		scale := dp.Scale(lvl.Sensitivity, perStep)
+		for _, nb := range lvl.Neighborhoods {
+			for i := range nb.Series {
+				nb.Series[i] += lap.Sample(scale)
+			}
+		}
+		charged += perStep * float64(lvl.TimeEnd-lvl.TimeStart)
+	}
+	return charged
+}
+
+// AllSeries returns every neighbourhood series across all levels, shallow
+// slices in level order — the stacked training corpus of Figure 2(b).
+func (t *Tree) AllSeries() [][]float64 {
+	var out [][]float64
+	for _, lvl := range t.Levels {
+		for _, nb := range lvl.Neighborhoods {
+			out = append(out, nb.Series)
+		}
+	}
+	return out
+}
+
+// FinestLevel returns the deepest level of the tree.
+func (t *Tree) FinestLevel() *Level { return t.Levels[len(t.Levels)-1] }
+
+// NeighborhoodAt returns the level's neighbourhood containing cell (x, y).
+func (l *Level) NeighborhoodAt(x, y, cx, cy int) *Neighborhood {
+	side := 1 << l.Depth
+	bw := cx / side
+	bh := cy / side
+	return l.Neighborhoods[(y/bh)*side+x/bw]
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

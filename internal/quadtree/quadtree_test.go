@@ -1,0 +1,262 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dp"
+	"repro/internal/timeseries"
+)
+
+func flatDataset(cx, cy, T int, value float64) *timeseries.Dataset {
+	d := &timeseries.Dataset{Name: "flat", Cx: cx, Cy: cy}
+	for y := 0; y < cy; y++ {
+		for x := 0; x < cx; x++ {
+			vals := make([]float64, T)
+			for t := range vals {
+				vals[t] = value
+			}
+			d.Series = append(d.Series, &timeseries.Series{
+				Location: timeseries.Location{X: x, Y: y}, Values: vals,
+			})
+		}
+	}
+	return d
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Cx: 4, Cy: 4, Depth: 2, TTrain: 6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Cx: 3, Cy: 4, Depth: 1, TTrain: 6},  // not power of two
+		{Cx: 4, Cy: 4, Depth: 3, TTrain: 6},  // depth too deep
+		{Cx: 4, Cy: 4, Depth: -1, TTrain: 6}, // negative depth
+		{Cx: 4, Cy: 4, Depth: 2, TTrain: 2},  // too short
+		{Cx: 0, Cy: 4, Depth: 0, TTrain: 6},  // zero grid
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should fail: %+v", i, p)
+		}
+	}
+}
+
+func TestSegmentLenMatchesEq8(t *testing.T) {
+	// Paper example: 4x4 grid, T=6, log2(4)+1 = 3 levels → segment 2.
+	p := Params{Cx: 4, Cy: 4, Depth: 2, TTrain: 6}
+	if p.Levels() != 3 || p.SegmentLen() != 2 {
+		t.Fatalf("levels=%d seg=%d", p.Levels(), p.SegmentLen())
+	}
+	// Ceiling: T=7 over 3 levels → 3.
+	p.TTrain = 7
+	if p.SegmentLen() != 3 {
+		t.Fatalf("seg=%d, want 3", p.SegmentLen())
+	}
+}
+
+func TestBuildPaperExampleStructure(t *testing.T) {
+	// Figure 2(b): 4x4x6 training matrix, 3 levels → 1+4+16 = 21 series.
+	d := flatDataset(4, 4, 6, 1)
+	tree, err := Build(d, Params{Cx: 4, Cy: 4, Depth: 2, TTrain: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Levels) != 3 {
+		t.Fatalf("levels = %d", len(tree.Levels))
+	}
+	counts := []int{1, 4, 16}
+	total := 0
+	for i, lvl := range tree.Levels {
+		if len(lvl.Neighborhoods) != counts[i] {
+			t.Fatalf("level %d has %d neighbourhoods, want %d", i, len(lvl.Neighborhoods), counts[i])
+		}
+		total += len(lvl.Neighborhoods)
+		if lvl.TimeEnd-lvl.TimeStart != 2 {
+			t.Fatalf("level %d segment [%d,%d)", i, lvl.TimeStart, lvl.TimeEnd)
+		}
+	}
+	if total != 21 || len(tree.AllSeries()) != 21 {
+		t.Fatalf("series count %d, want 21", total)
+	}
+}
+
+func TestRepresentativeIsMeanCellTotal(t *testing.T) {
+	// Cell (0,0) totals 2+4 = 6, cell (1,1) totals 8, two cells empty.
+	// Root (4 cells): representative = (6+0+8+0)/4 = 3.5.
+	d := &timeseries.Dataset{Cx: 2, Cy: 2, Series: []*timeseries.Series{
+		{Location: timeseries.Location{X: 0, Y: 0}, Values: []float64{2, 2}},
+		{Location: timeseries.Location{X: 0, Y: 0}, Values: []float64{4, 4}},
+		{Location: timeseries.Location{X: 1, Y: 1}, Values: []float64{8, 8}},
+	}}
+	tree, err := Build(d, Params{Cx: 2, Cy: 2, Depth: 1, TTrain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Levels[0].Neighborhoods[0]
+	if root.Users != 3 {
+		t.Fatalf("root users = %d", root.Users)
+	}
+	if math.Abs(root.Series[0]-3.5) > 1e-12 {
+		t.Fatalf("root series = %v, want 3.5", root.Series[0])
+	}
+	// Depth 1: each quadrant is a single cell, so the representative is
+	// the cell total itself.
+	lvl1 := tree.Levels[1]
+	nb := lvl1.NeighborhoodAt(0, 0, 2, 2)
+	if nb.Users != 2 || math.Abs(nb.Series[0]-6) > 1e-12 {
+		t.Fatalf("quadrant total = %v (users %d)", nb.Series[0], nb.Users)
+	}
+	// Empty quadrant stays zero.
+	empty := lvl1.NeighborhoodAt(1, 0, 2, 2)
+	if empty.Users != 0 || empty.Series[0] != 0 {
+		t.Fatalf("empty quadrant = %+v", empty)
+	}
+}
+
+func TestSensitivityTheorem6(t *testing.T) {
+	// Cx = 32: depth 5 (leaf) → 1; depth 0 (root) → 1/4^5.
+	if got := Sensitivity(5, 32); got != 1 {
+		t.Fatalf("leaf sensitivity = %v", got)
+	}
+	if got := Sensitivity(0, 32); math.Abs(got-1.0/1024) > 1e-18 {
+		t.Fatalf("root sensitivity = %v", got)
+	}
+	// Monotone increasing with depth.
+	prev := 0.0
+	for dpt := 0; dpt <= 5; dpt++ {
+		s := Sensitivity(dpt, 32)
+		if s <= prev {
+			t.Fatalf("sensitivity not increasing at depth %d", dpt)
+		}
+		prev = s
+	}
+}
+
+func TestBuildRejectsMismatchedGrid(t *testing.T) {
+	d := flatDataset(4, 4, 6, 1)
+	if _, err := Build(d, Params{Cx: 8, Cy: 8, Depth: 1, TTrain: 6}); err == nil {
+		t.Fatal("expected grid-mismatch error")
+	}
+	if _, err := Build(d, Params{Cx: 4, Cy: 4, Depth: 1, TTrain: 10}); err == nil {
+		t.Fatal("expected TTrain-too-long error")
+	}
+}
+
+func TestSanitizeChargesAtMostBudget(t *testing.T) {
+	d := flatDataset(8, 8, 12, 0.5)
+	p := Params{Cx: 8, Cy: 8, Depth: 3, TTrain: 12}
+	tree, err := Build(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lap := dp.NewLaplace(rand.New(rand.NewSource(1)))
+	charged := tree.Sanitize(lap, 10)
+	if charged > 10+1e-9 {
+		t.Fatalf("charged %v > budget 10", charged)
+	}
+	if charged <= 0 {
+		t.Fatal("nothing charged")
+	}
+}
+
+func TestSanitizeNoiseScalesWithDepth(t *testing.T) {
+	// With a large grid the root's sensitivity is tiny, so root noise must
+	// be far smaller than leaf noise on average.
+	d := flatDataset(32, 32, 30, 0.5)
+	p := Params{Cx: 32, Cy: 32, Depth: 5, TTrain: 30}
+	var rootErr, leafErr float64
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		tree, err := Build(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lap := dp.NewLaplace(rand.New(rand.NewSource(int64(trial))))
+		tree.Sanitize(lap, 5)
+		for _, v := range tree.Levels[0].Neighborhoods[0].Series {
+			rootErr += math.Abs(v - 0.5)
+		}
+		for _, v := range tree.FinestLevel().Neighborhoods[0].Series {
+			leafErr += math.Abs(v - 0.5)
+		}
+	}
+	if rootErr*10 > leafErr {
+		t.Fatalf("root error %v should be orders of magnitude below leaf error %v", rootErr, leafErr)
+	}
+}
+
+// Property: every cell belongs to exactly one neighbourhood per level, and
+// block bounds tile the grid.
+func TestNeighborhoodsTileGridProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		exp := 1 + rng.Intn(4) // grid side 2..16
+		cx := 1 << exp
+		depth := rng.Intn(exp + 1)
+		d := flatDataset(cx, cx, depth+2, 1)
+		tree, err := Build(d, Params{Cx: cx, Cy: cx, Depth: depth, TTrain: depth + 2})
+		if err != nil {
+			return false
+		}
+		for _, lvl := range tree.Levels {
+			for x := 0; x < cx; x++ {
+				for y := 0; y < cx; y++ {
+					hits := 0
+					for _, nb := range lvl.Neighborhoods {
+						if nb.Contains(x, y) {
+							hits++
+						}
+					}
+					if hits != 1 {
+						return false
+					}
+					if !lvl.NeighborhoodAt(x, y, cx, cx).Contains(x, y) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: user counts per level always sum to the dataset size.
+func TestUserCountConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cx := 1 << (1 + rng.Intn(3))
+		n := 1 + rng.Intn(40)
+		d := &timeseries.Dataset{Cx: cx, Cy: cx}
+		for i := 0; i < n; i++ {
+			d.Series = append(d.Series, &timeseries.Series{
+				Location: timeseries.Location{X: rng.Intn(cx), Y: rng.Intn(cx)},
+				Values:   []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+			})
+		}
+		depth := rng.Intn(log2(cx) + 1)
+		tree, err := Build(d, Params{Cx: cx, Cy: cx, Depth: depth, TTrain: 4})
+		if err != nil {
+			return false
+		}
+		for _, lvl := range tree.Levels {
+			sum := 0
+			for _, nb := range lvl.Neighborhoods {
+				sum += nb.Users
+			}
+			if sum != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// Autocorrelation returns the sample autocorrelation of v at the given
+// lag, in [-1, 1]. It panics on invalid lags and returns 0 for a constant
+// series.
+func Autocorrelation(v []float64, lag int) float64 {
+	if lag < 0 || lag >= len(v) {
+		panic(fmt.Sprintf("timeseries: lag %d out of range for series of length %d", lag, len(v)))
+	}
+	n := len(v)
+	var mean float64
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := v[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (v[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// SeasonalProfile averages the series over a fixed period, returning the
+// mean value at each phase — e.g. period 7 on daily data yields the
+// weekly profile. Trailing partial periods are included.
+func SeasonalProfile(v []float64, period int) []float64 {
+	if period <= 0 {
+		panic(fmt.Sprintf("timeseries: non-positive period %d", period))
+	}
+	sums := make([]float64, period)
+	counts := make([]int, period)
+	for i, x := range v {
+		sums[i%period] += x
+		counts[i%period]++
+	}
+	for i := range sums {
+		if counts[i] > 0 {
+			sums[i] /= float64(counts[i])
+		}
+	}
+	return sums
+}
+
+// SeasonalStrength quantifies how much of the series' variance the
+// periodic profile explains, in [0, 1]: 1 - Var(residual)/Var(series).
+func SeasonalStrength(v []float64, period int) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	profile := SeasonalProfile(v, period)
+	var mean float64
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	var total, residual float64
+	for i, x := range v {
+		d := x - mean
+		total += d * d
+		r := x - profile[i%period]
+		residual += r * r
+	}
+	if total == 0 {
+		return 0
+	}
+	s := 1 - residual/total
+	return math.Max(0, math.Min(1, s))
+}
+
+// Detrend removes a least-squares linear trend from v in place and
+// returns the (intercept, slope) that was removed.
+func Detrend(v []float64) (intercept, slope float64) {
+	n := float64(len(v))
+	if n < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i, y := range v {
+		x := float64(i)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	for i := range v {
+		v[i] -= intercept + slope*float64(i)
+	}
+	return intercept, slope
+}

@@ -1,0 +1,132 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAutocorrelationKnownCases(t *testing.T) {
+	// Lag 0 is always 1 for a non-constant series.
+	v := []float64{1, 2, 3, 4, 3, 2}
+	if got := Autocorrelation(v, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("lag-0 = %v", got)
+	}
+	// Perfectly alternating series: strong negative lag-1 correlation.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if got := Autocorrelation(alt, 1); got > -0.7 {
+		t.Fatalf("alternating lag-1 = %v, want strongly negative", got)
+	}
+	// Constant series → 0 by convention.
+	if got := Autocorrelation([]float64{5, 5, 5}, 1); got != 0 {
+		t.Fatalf("constant series = %v", got)
+	}
+}
+
+func TestAutocorrelationPanicsOnBadLag(t *testing.T) {
+	for _, lag := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for lag %d", lag)
+				}
+			}()
+			Autocorrelation([]float64{1, 2, 3}, lag)
+		}()
+	}
+}
+
+// Property: autocorrelation is bounded by 1 in magnitude.
+func TestAutocorrelationBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		lag := rng.Intn(n)
+		ac := Autocorrelation(v, lag)
+		return ac <= 1+1e-9 && ac >= -1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeasonalProfileAndStrength(t *testing.T) {
+	// Pure period-4 signal repeated 5 times.
+	base := []float64{1, 3, 2, 0}
+	var v []float64
+	for i := 0; i < 5; i++ {
+		v = append(v, base...)
+	}
+	profile := SeasonalProfile(v, 4)
+	for i, want := range base {
+		if math.Abs(profile[i]-want) > 1e-12 {
+			t.Fatalf("profile[%d] = %v, want %v", i, profile[i], want)
+		}
+	}
+	if s := SeasonalStrength(v, 4); s < 0.999 {
+		t.Fatalf("pure periodic strength = %v, want ~1", s)
+	}
+	// White noise: strength near 0 (profile explains little).
+	rng := rand.New(rand.NewSource(1))
+	noise := make([]float64, 400)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	if s := SeasonalStrength(noise, 4); s > 0.1 {
+		t.Fatalf("noise strength = %v, want ~0", s)
+	}
+}
+
+func TestSeasonalProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SeasonalProfile([]float64{1}, 0)
+}
+
+func TestDetrendRemovesLinearTrend(t *testing.T) {
+	v := make([]float64, 50)
+	for i := range v {
+		v[i] = 2 + 0.5*float64(i)
+	}
+	intercept, slope := Detrend(v)
+	if math.Abs(intercept-2) > 1e-9 || math.Abs(slope-0.5) > 1e-9 {
+		t.Fatalf("fit = %v + %v·t", intercept, slope)
+	}
+	for i, x := range v {
+		if math.Abs(x) > 1e-9 {
+			t.Fatalf("residual[%d] = %v", i, x)
+		}
+	}
+	// Degenerate inputs are no-ops.
+	if a, b := Detrend([]float64{7}); a != 0 || b != 0 {
+		t.Fatal("short series should be untouched")
+	}
+}
+
+func TestGeneratedDataHasWeeklySeasonality(t *testing.T) {
+	// The synthetic generator's daily totals must show a period-7 cycle —
+	// the structural property the STPT predictor exploits.
+	vals := make([]float64, 10*7)
+	for d := range vals {
+		// weekly() replica: weekend lift.
+		switch d % 7 {
+		case 5:
+			vals[d] = 1.12
+		case 6:
+			vals[d] = 1.15
+		default:
+			vals[d] = 0.97
+		}
+	}
+	if s := SeasonalStrength(vals, 7); s < 0.99 {
+		t.Fatalf("weekly strength = %v", s)
+	}
+}
