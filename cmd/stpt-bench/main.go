@@ -12,23 +12,29 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/datasets"
 	"repro/internal/experiments"
+	"repro/internal/resilience"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table2|fig6|fig6-single|fig7|fig8ab|fig8c|fig8d|fig8ef|fig8g|fig8h|fig8i|fig9|ablations|ldp|extended|all")
-		scale   = flag.String("scale", "quick", "scale: quick|bench|paper")
-		dataset = flag.String("dataset", "CER", "dataset for fig6-single: CER|CA|MI|TX")
-		layout  = flag.String("layout", "uniform", "layout for fig6-single: uniform|normal|losangeles")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		reps    = flag.Int("reps", 0, "override repetition count (0 keeps the scale default)")
+		exp        = flag.String("exp", "all", "experiment: table2|fig6|fig6-single|fig7|fig8ab|fig8c|fig8d|fig8ef|fig8g|fig8h|fig8i|fig9|ablations|ldp|extended|all")
+		scale      = flag.String("scale", "quick", "scale: quick|bench|paper")
+		dataset    = flag.String("dataset", "CER", "dataset for fig6-single: CER|CA|MI|TX")
+		layout     = flag.String("layout", "uniform", "layout for fig6-single: uniform|normal|losangeles")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		reps       = flag.Int("reps", 0, "override repetition count (0 keeps the scale default)")
+		timeout    = flag.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file: completed cells are skipped on restart")
 	)
 	flag.Parse()
 
@@ -47,6 +53,25 @@ func main() {
 	if *reps > 0 {
 		opts.Reps = *reps
 	}
+	opts.Retry = resilience.DefaultPolicy()
+	if *checkpoint != "" {
+		ck, err := resilience.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if n := ck.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "stpt-bench: resuming from %s (%d completed cells)\n", *checkpoint, n)
+		}
+		opts.Checkpoint = ck
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	w := os.Stdout
 	start := time.Now()
@@ -54,13 +79,25 @@ func main() {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := fn(); err != nil {
-			fatalf("%s: %v", name, err)
+		err := fn()
+		if err == nil {
+			return
 		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatalf("%s: exceeded -timeout %s%s", name, *timeout, resumeHint(*checkpoint))
+		}
+		if errors.Is(err, context.Canceled) {
+			fatalf("%s: interrupted%s", name, resumeHint(*checkpoint))
+		}
+		fatalf("%s: %v", name, err)
 	}
 
 	run("table2", func() error {
-		experiments.PrintTable2(w, experiments.RunTable2(opts))
+		rows, err := experiments.RunTable2Context(ctx, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable2(w, rows)
 		return nil
 	})
 	run("fig9", func() error {
@@ -68,7 +105,7 @@ func main() {
 		return nil
 	})
 	run("fig6", func() error {
-		rows, err := experiments.RunFig6(opts)
+		rows, err := experiments.RunFig6Context(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -84,7 +121,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		row, err := experiments.RunFig6Single(opts, spec, lay)
+		row, err := experiments.RunFig6SingleContext(ctx, opts, spec, lay)
 		if err != nil {
 			return err
 		}
@@ -92,7 +129,7 @@ func main() {
 		return nil
 	})
 	run("fig7", func() error {
-		rows, err := experiments.RunFig7(opts)
+		rows, err := experiments.RunFig7Context(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -100,7 +137,7 @@ func main() {
 		return nil
 	})
 	run("fig8ab", func() error {
-		pts, err := experiments.RunFig8PatternBudget(opts)
+		pts, err := experiments.RunFig8PatternBudgetContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -108,7 +145,7 @@ func main() {
 		return nil
 	})
 	run("fig8c", func() error {
-		pts, err := experiments.RunFig8Quantization(opts)
+		pts, err := experiments.RunFig8QuantizationContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -116,7 +153,7 @@ func main() {
 		return nil
 	})
 	run("fig8d", func() error {
-		rows, err := experiments.RunFig8Runtime(opts)
+		rows, err := experiments.RunFig8RuntimeContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -124,7 +161,7 @@ func main() {
 		return nil
 	})
 	run("fig8ef", func() error {
-		pts, err := experiments.RunFig8TreeDepth(opts)
+		pts, err := experiments.RunFig8TreeDepthContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -132,7 +169,7 @@ func main() {
 		return nil
 	})
 	run("fig8g", func() error {
-		pts, err := experiments.RunFig8BudgetSplit(opts)
+		pts, err := experiments.RunFig8BudgetSplitContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -140,7 +177,7 @@ func main() {
 		return nil
 	})
 	run("fig8h", func() error {
-		pts, err := experiments.RunFig8TotalBudget(opts)
+		pts, err := experiments.RunFig8TotalBudgetContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -148,7 +185,7 @@ func main() {
 		return nil
 	})
 	run("fig8i", func() error {
-		pts, err := experiments.RunFig8Models(opts)
+		pts, err := experiments.RunFig8ModelsContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -156,7 +193,7 @@ func main() {
 		return nil
 	})
 	run("ldp", func() error {
-		rows, err := experiments.RunLDPExtension(opts)
+		rows, err := experiments.RunLDPExtensionContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -164,7 +201,7 @@ func main() {
 		return nil
 	})
 	run("extended", func() error {
-		rows, err := experiments.RunExtended(opts)
+		rows, err := experiments.RunExtendedContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -172,7 +209,7 @@ func main() {
 		return nil
 	})
 	run("ablations", func() error {
-		rows, err := experiments.RunAblations(opts)
+		rows, err := experiments.RunAblationsContext(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -181,6 +218,14 @@ func main() {
 	})
 
 	fmt.Fprintf(w, "done in %s (scale %s, exp %s)\n", time.Since(start).Round(time.Millisecond), *scale, *exp)
+}
+
+// resumeHint tells an interrupted user how to pick the sweep back up.
+func resumeHint(checkpoint string) string {
+	if checkpoint == "" {
+		return " (no -checkpoint set; completed work is lost)"
+	}
+	return fmt.Sprintf(" (progress saved to %s; rerun with the same -checkpoint to resume)", checkpoint)
 }
 
 func fatalf(format string, args ...any) {

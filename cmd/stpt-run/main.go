@@ -11,9 +11,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -26,7 +31,7 @@ func main() {
 	var (
 		in       = flag.String("in", "", "input CSV (from stpt-datagen); required")
 		out      = flag.String("o", "", "output CSV of the sanitised matrix (default stdout)")
-		alg      = flag.String("alg", "stpt", "algorithm: stpt|identity|fast|fourier-10|fourier-20|wavelet-10|wavelet-20|lgan-dp|wpo")
+		alg      = flag.String("alg", "stpt", "algorithm: stpt|"+strings.Join(baselines.Names(), "|"))
 		tTrain   = flag.Int("ttrain", 100, "training prefix length")
 		epsP     = flag.Float64("eps-pattern", 10, "STPT pattern budget")
 		epsS     = flag.Float64("eps-sanitize", 20, "STPT sanitisation budget")
@@ -40,10 +45,19 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		evalFlag = flag.Bool("eval", false, "report per-class query MRE against the truth")
 		queries  = flag.Int("queries", 300, "queries per class when evaluating")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if *in == "" {
 		fatalf("missing -in")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	f, err := os.Open(*in)
@@ -81,22 +95,25 @@ func main() {
 		if cfg.Model, err = parseModel(*model); err != nil {
 			fatalf("%v", err)
 		}
-		res, err := core.Run(d, cfg)
+		res, err := core.RunContext(ctx, d, cfg)
 		if err != nil {
-			fatalf("%v", err)
+			fatalCtx(err, *timeout)
 		}
 		release = res.Sanitized
 		fmt.Fprintf(os.Stderr, "stpt-run: ε_tot=%.3g, %d partitions, pattern MAE %.4f RMSE %.4f\n",
 			cfg.EpsTotal(), res.Partitions, res.PatternMAE, res.PatternRMSE)
+		if res.Recovery != nil && res.Recovery.Attempts > 1 {
+			fmt.Fprintf(os.Stderr, "stpt-run: %s\n", res.Recovery)
+		}
 		fmt.Fprint(os.Stderr, res.Accountant.Report())
 	} else {
 		a, err := baselines.Lookup(*alg)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		release, err = a.Release(baselines.Input{Dataset: d, TTrain: *tTrain, CellSensitivity: clipFactor}, *eps, *seed)
+		release, err = baselines.ReleaseContext(ctx, a, baselines.Input{Dataset: d, TTrain: *tTrain, CellSensitivity: clipFactor}, *eps, *seed)
 		if err != nil {
-			fatalf("%v", err)
+			fatalCtx(err, *timeout)
 		}
 		fmt.Fprintf(os.Stderr, "stpt-run: %s released %dx%dx%d matrix at ε=%.3g\n",
 			a.Name(), release.Cx, release.Cy, release.Ct, *eps)
@@ -110,13 +127,13 @@ func main() {
 	}
 
 	w := os.Stdout
+	var outFile *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		outFile, err = os.Create(*out)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer f.Close()
-		w = f
+		w = outFile
 	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "x,y,t,value")
@@ -130,6 +147,25 @@ func main() {
 	if err := bw.Flush(); err != nil {
 		fatalf("%v", err)
 	}
+	// A deferred Close would swallow write-back errors (full disk, NFS);
+	// close explicitly so a failed write exits non-zero.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatalf("closing %s: %v", *out, err)
+		}
+	}
+}
+
+// fatalCtx reports a run failure, naming the deadline when the cause was
+// the -timeout budget rather than the pipeline itself.
+func fatalCtx(err error, timeout time.Duration) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fatalf("aborted: exceeded -timeout %s", timeout)
+	}
+	if errors.Is(err, context.Canceled) {
+		fatalf("aborted: interrupted")
+	}
+	fatalf("%v", err)
 }
 
 func parseModel(s string) (core.ModelKind, error) {

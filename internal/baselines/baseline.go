@@ -10,10 +10,12 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/grid"
+	"repro/internal/resilience"
 	"repro/internal/timeseries"
 )
 
@@ -74,21 +76,60 @@ func Extended() []Algorithm {
 	return []Algorithm{NewWPO(), NewAR1(), NewAdaptiveGrid(), NewHTF()}
 }
 
-// Lookup finds a baseline by name, searching the Figure-6 registry and
-// the extended set.
-func Lookup(name string) (Algorithm, error) {
+// Names returns the sorted names of every registered algorithm (Figure-6
+// registry plus the extended set). Usage strings should derive from this
+// so they cannot drift from the registry.
+func Names() []string {
 	all := append(Registry(), Extended()...)
-	for _, a := range all {
-		if a.Name() == name {
-			return a, nil
-		}
-	}
 	names := make([]string, 0, len(all))
 	for _, a := range all {
 		names = append(names, a.Name())
 	}
 	sort.Strings(names)
-	return nil, fmt.Errorf("baselines: unknown algorithm %q (have %v)", name, names)
+	return names
+}
+
+// Lookup finds a baseline by name, searching the Figure-6 registry and
+// the extended set.
+func Lookup(name string) (Algorithm, error) {
+	for _, a := range append(Registry(), Extended()...) {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("baselines: unknown algorithm %q (have %v)", name, Names())
+}
+
+// ContextReleaser is optionally implemented by algorithms whose Release
+// runs long enough to want cooperative cancellation (e.g. LGAN-DP's GAN
+// training loop). ReleaseContext dispatches to it when present.
+type ContextReleaser interface {
+	ReleaseContext(ctx context.Context, in Input, epsilon float64, seed int64) (*grid.Matrix, error)
+}
+
+// ReleaseContext releases via a, honouring the context and the
+// resilience fault-injection point FaultRelease (payload: the algorithm
+// name). Algorithms implementing ContextReleaser get the context for
+// in-flight cancellation checks; the rest are checked before and after
+// the (uninterruptible) release.
+func ReleaseContext(ctx context.Context, a Algorithm, in Input, epsilon float64, seed int64) (*grid.Matrix, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := resilience.Fire(ctx, resilience.FaultRelease, a.Name()); err != nil {
+		return nil, fmt.Errorf("baselines: %s release: %w", a.Name(), err)
+	}
+	if cr, ok := a.(ContextReleaser); ok {
+		return cr.ReleaseContext(ctx, in, epsilon, seed)
+	}
+	m, err := a.Release(in, epsilon, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // clampNonNegative zeroes negative cells in place — valid post-processing,

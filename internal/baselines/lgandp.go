@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/dp"
@@ -33,6 +34,13 @@ func (*LGANDP) Name() string { return "lgan-dp" }
 
 // Release implements Algorithm.
 func (g *LGANDP) Release(in Input, epsilon float64, seed int64) (*grid.Matrix, error) {
+	return g.ReleaseContext(context.Background(), in, epsilon, seed)
+}
+
+// ReleaseContext implements ContextReleaser: the GAN training loop checks
+// the context every iteration and the synthesis loop every row, so the
+// slowest baseline cancels promptly.
+func (g *LGANDP) ReleaseContext(ctx context.Context, in Input, epsilon float64, seed int64) (*grid.Matrix, error) {
 	truth := in.Truth()
 	rng := rand.New(rand.NewSource(seed))
 	lap := dp.NewLaplace(rng)
@@ -82,6 +90,9 @@ func (g *LGANDP) Release(in Input, epsilon float64, seed int64) (*grid.Matrix, e
 	discParams := disc.Params()
 	genParams := gen.Params()
 	for it := 0; it < g.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// --- Discriminator step on one real and one generated window.
 		rw := real[rng.Intn(len(real))]
 		realSeq := append(append([]float64{}, rw.Input...), rw.Target)
@@ -123,6 +134,9 @@ func (g *LGANDP) Release(in Input, epsilon float64, seed int64) (*grid.Matrix, e
 	seedScale := dp.Scale(in.CellSensitivity/maxVal, epsSeed/float64(g.Window))
 	out := grid.NewMatrix(truth.Cx, truth.Cy, T)
 	for y := 0; y < truth.Cy; y++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for x := 0; x < truth.Cx; x++ {
 			seed := make([]float64, g.Window)
 			p := truth.Pillar(x, y)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/nn"
+	"repro/internal/resilience"
 )
 
 // ModelKind selects the pattern-recognition network (Figure 8(i)).
@@ -85,6 +86,19 @@ type Config struct {
 	// Seed makes the whole run reproducible.
 	Seed int64
 
+	// Retry governs recovery from retryable failures — in practice
+	// DP-noise-induced training divergence. Each retry re-runs the
+	// pipeline with a deterministically jittered seed (fresh noise and
+	// initial weights). The zero value means a single attempt, i.e. the
+	// pre-resilience behaviour.
+	Retry resilience.Policy
+	// FallbackModels are tried in order once Retry is exhausted for the
+	// configured Model; DefaultConfig ends the chain with
+	// ModelPersistence, which cannot diverge, so a run degrades to the
+	// model-free pattern instead of failing. The degradation is recorded
+	// in Result.Recovery. An empty chain restores fail-fast behaviour.
+	FallbackModels []ModelKind
+
 	// Ablation switches (DESIGN.md §5).
 	FlatTraining  bool // sanitise per-cell training pillars instead of the quadtree
 	UniformBudget bool // uniform per-partition budget instead of Theorem 8
@@ -97,18 +111,20 @@ type Config struct {
 // harness can restore embed 128 / hidden 64.
 func DefaultConfig() Config {
 	return Config{
-		EpsPattern:  10,
-		EpsSanitize: 20,
-		TTrain:      100,
-		Depth:       5,
-		WindowSize:  6,
-		QuantLevels: 16,
-		Model:       ModelAttentiveGRU,
-		EmbedDim:    16,
-		Hidden:      16,
-		Train:       nn.TrainConfig{Epochs: 20, BatchSize: 32, ClipNorm: 5},
-		LR:          1e-3,
-		Seed:        1,
+		EpsPattern:     10,
+		EpsSanitize:    20,
+		TTrain:         100,
+		Depth:          5,
+		WindowSize:     6,
+		QuantLevels:    16,
+		Model:          ModelAttentiveGRU,
+		EmbedDim:       16,
+		Hidden:         16,
+		Train:          nn.TrainConfig{Epochs: 20, BatchSize: 32, ClipNorm: 5},
+		LR:             1e-3,
+		Seed:           1,
+		Retry:          resilience.DefaultPolicy(),
+		FallbackModels: []ModelKind{ModelPersistence},
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -51,7 +52,7 @@ type trainSeries struct {
 // are the only place true data is touched, and each of the TTrain
 // timestamps is charged EpsPattern/TTrain at its Theorem-6 sensitivity.
 // Training and rollout are post-processing (Theorem 3).
-func patternStep(norm *timeseries.Dataset, cfg Config, rng *rand.Rand, acct dp.Scope) (*PatternResult, error) {
+func patternStep(ctx context.Context, norm *timeseries.Dataset, cfg Config, rng *rand.Rand, acct dp.Scope) (*PatternResult, error) {
 	horizon := norm.T() - cfg.TTrain
 	if horizon <= 0 {
 		return nil, fmt.Errorf("core: dataset length %d leaves no released horizon beyond TTrain %d", norm.T(), cfg.TTrain)
@@ -159,7 +160,7 @@ func patternStep(norm *timeseries.Dataset, cfg Config, rng *rand.Rand, acct dp.S
 		return nil, err
 	}
 	trainer := &nn.Trainer{Model: model, Opt: nn.NewRMSProp(cfg.LR), Cfg: cfg.Train, Rng: rng}
-	losses, err := trainer.Fit(samples)
+	losses, err := trainer.FitContext(ctx, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +170,9 @@ func patternStep(norm *timeseries.Dataset, cfg Config, rng *rand.Rand, acct dp.S
 	// conditioned on the cell's location at the finest trained extent.
 	res.Pattern = grid.NewMatrix(norm.Cx, norm.Cy, horizon)
 	for y := 0; y < norm.Cy; y++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for x := 0; x < norm.Cx; x++ {
 			seed := trainEst.Pillar(x, y)
 			if len(seed) < cfg.WindowSize {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/dp"
 	"repro/internal/grid"
+	"repro/internal/resilience"
 	"repro/internal/timeseries"
 )
 
@@ -26,12 +28,37 @@ type Result struct {
 	Partitions int
 	// Accountant records the composition structure of the spend.
 	Accountant *dp.Accountant
+	// Recovery records how the run survived failures: total attempts,
+	// whether it degraded past the configured model, and the final model
+	// used. A clean run reports Attempts == 1, Degraded == false.
+	Recovery *resilience.Report
 }
 
 // Run executes STPT end to end on a dataset whose first cfg.TTrain
 // readings are the training prefix and whose remainder is the released
 // horizon.
 func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext is Run with cooperative cancellation and fault recovery.
+//
+// Cancellation: the context is checked between phases, at every training
+// batch and at every rollout row, so a cancelled or deadline-expired run
+// stops promptly and returns the context's error.
+//
+// Recovery: a retryable failure (training divergence) re-runs the whole
+// pipeline up to cfg.Retry.Attempts() times with a seed jittered by
+// cfg.Retry.SeedJitter — each attempt draws fresh DP noise and fresh
+// initial weights, which is what divergence under Laplace-noised training
+// data needs. If every attempt fails, the models in cfg.FallbackModels
+// are tried in order under the same per-model attempt budget; the default
+// chain ends with ModelPersistence, which cannot diverge. The outcome is
+// recorded in Result.Recovery. Note each attempt spends its noise budget
+// afresh: a deployment resuming from a failed attempt should treat the
+// retries' extra draws as additional ε or cache the sanitised tree (the
+// DESIGN.md "Failure semantics" section discusses this).
+func RunContext(ctx context.Context, d *timeseries.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,6 +68,46 @@ func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
 	if d.T() <= cfg.TTrain {
 		return nil, fmt.Errorf("core: dataset length %d must exceed TTrain %d", d.T(), cfg.TTrain)
 	}
+
+	report := &resilience.Report{}
+	chain := []ModelKind{cfg.Model}
+	for _, k := range cfg.FallbackModels {
+		if k != cfg.Model {
+			chain = append(chain, k)
+		}
+	}
+	var lastErr error
+	for mi, kind := range chain {
+		attempt := cfg
+		attempt.Model = kind
+		for a := 0; a < cfg.Retry.Attempts(); a++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			// Attempt 0 of the configured model runs with the caller's
+			// exact seed, preserving bit-for-bit reproducibility of
+			// non-failing runs.
+			attempt.Seed = cfg.Seed + int64(report.Attempts)*cfg.Retry.SeedJitter
+			report.Attempts++
+			res, err := runOnce(ctx, d, attempt)
+			if err == nil {
+				report.Degraded = mi > 0
+				report.Final = kind.String()
+				res.Recovery = report
+				return res, nil
+			}
+			lastErr = err
+			report.Note(err)
+			if !resilience.IsRetryable(err) {
+				return nil, err
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: all %d attempts failed: %w", report.Attempts, lastErr)
+}
+
+// runOnce executes one pipeline attempt.
+func runOnce(ctx context.Context, d *timeseries.Dataset, cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	acct := dp.NewAccountant("stpt", dp.Sequential)
 
@@ -54,8 +121,11 @@ func Run(d *timeseries.Dataset, cfg Config) (*Result, error) {
 
 	// Phase 1: pattern recognition (ε_pattern).
 	patScope := acct.Root().Child("pattern", dp.Sequential)
-	pat, err := patternStep(normData, cfg, rng, patScope)
+	pat, err := patternStep(ctx, normData, cfg, rng, patScope)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"repro/internal/timeseries"
@@ -82,6 +83,11 @@ func LoadCSV(r io.Reader, name string, cx, cy int) (*timeseries.Dataset, error) 
 			v, err := strconv.ParseFloat(rec[2+j], 64)
 			if err != nil {
 				return nil, fmt.Errorf("datasets: row %d value %d: %w", i+2, j, err)
+			}
+			// NaN/Inf readings would silently poison every downstream
+			// aggregate; reject them at the boundary.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("datasets: row %d value %d: non-finite reading %q", i+2, j, rec[2+j])
 			}
 			vals[j] = v
 		}

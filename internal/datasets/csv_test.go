@@ -1,0 +1,93 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadCSVRejectsNonFinite: NaN/Inf parse as valid float64s but would
+// poison every downstream aggregate, so the loader must reject them.
+func TestLoadCSVRejectsNonFinite(t *testing.T) {
+	cases := map[string]string{
+		"nan":      "x,y,v0,v1\n0,0,1.5,NaN\n",
+		"plus-inf": "x,y,v0,v1\n0,0,+Inf,2\n",
+		"neg-inf":  "x,y,v0,v1\n0,0,1,-Inf\n",
+	}
+	for name, c := range cases {
+		_, err := LoadCSV(strings.NewReader(c), "t", 0, 0)
+		if err == nil {
+			t.Errorf("%s: accepted non-finite reading", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "non-finite") {
+			t.Errorf("%s: error %q does not name the problem", name, err)
+		}
+	}
+}
+
+// TestLoadCSVRejectsTruncatedRows: rows shorter or longer than the header
+// must fail with the offending row identified.
+func TestLoadCSVRejectsTruncatedRows(t *testing.T) {
+	cases := []string{
+		"x,y,v0,v1\n0,0,1\n",          // one value missing
+		"x,y,v0,v1\n0,0\n",            // all values missing
+		"x,y,v0,v1\n0,0,1,2,3\n",      // extra value
+		"x,y,v0,v1\n0,0,1,2\n1,1,3\n", // second row truncated
+	}
+	for i, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c), "t", 0, 0); err == nil {
+			t.Errorf("case %d should fail: %q", i, c)
+		}
+	}
+}
+
+// TestLoadCSVRejectsNonNumeric covers garbage in each column kind.
+func TestLoadCSVRejectsNonNumeric(t *testing.T) {
+	cases := map[string]string{
+		"x":       "x,y,v0\nleft,0,1\n",
+		"y":       "x,y,v0\n0,top,1\n",
+		"value":   "x,y,v0\n0,0,lots\n",
+		"float-x": "x,y,v0\n1.5,0,1\n", // locations are integers
+	}
+	for name, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c), "t", 0, 0); err == nil {
+			t.Errorf("%s: accepted non-numeric field: %q", name, c)
+		}
+	}
+}
+
+// TestLoadCSVRejectsOutOfGrid: with explicit dimensions, locations beyond
+// them must fail validation instead of silently indexing out of range.
+func TestLoadCSVRejectsOutOfGrid(t *testing.T) {
+	csv := "x,y,v0\n0,0,1\n7,3,2\n"
+	if _, err := LoadCSV(strings.NewReader(csv), "t", 4, 4); err == nil {
+		t.Fatal("accepted location (7,3) on a 4x4 grid")
+	}
+	// The same rows fit once the grid is inferred.
+	d, err := LoadCSV(strings.NewReader(csv), "t", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cx != 8 || d.Cy != 8 {
+		t.Fatalf("inferred grid %dx%d, want 8x8", d.Cx, d.Cy)
+	}
+}
+
+// TestLoadCSVRejectsEmpty covers empty and header-only inputs.
+func TestLoadCSVRejectsEmpty(t *testing.T) {
+	for i, c := range []string{"", "\n", "x,y,v0\n"} {
+		if _, err := LoadCSV(strings.NewReader(c), "t", 0, 0); err == nil {
+			t.Errorf("case %d: accepted empty input %q", i, c)
+		}
+	}
+}
+
+// TestSaveCSVRejectsInvalid: the writer validates before emitting so a
+// broken dataset cannot round-trip into a broken file.
+func TestSaveCSVRejectsInvalid(t *testing.T) {
+	d := CA.Generate(Uniform, 4, 4, 3, 1)
+	d.Series[0].Location.X = 99
+	if err := SaveCSV(d, &strings.Builder{}); err == nil {
+		t.Fatal("saved a dataset with an out-of-grid location")
+	}
+}

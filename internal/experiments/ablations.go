@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -11,9 +12,9 @@ import (
 
 // AblationResult compares full STPT against one disabled design choice.
 type AblationResult struct {
-	Name     string
-	Full     AlgResult
-	Ablated  AlgResult
+	Name    string
+	Full    AlgResult
+	Ablated AlgResult
 }
 
 // RunAblations measures the contribution of each STPT design choice
@@ -21,13 +22,18 @@ type AblationResult struct {
 // budget allocation, k-quantization partitioning and the learned
 // predictor.
 func RunAblations(o Options) ([]AblationResult, error) {
+	return RunAblationsContext(context.Background(), o)
+}
+
+// RunAblationsContext is the cancellable, checkpointed variant.
+func RunAblationsContext(ctx context.Context, o Options) ([]AblationResult, error) {
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	truth := in.Truth()
 	qs := o.drawQueries(truth)
 
-	full, _, err := o.runSTPT(d, spec, truth, qs, nil)
+	full, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, "ablations/stpt")
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +49,7 @@ func RunAblations(o Options) ([]AblationResult, error) {
 	}
 	var out []AblationResult
 	for _, ab := range ablations {
-		r, _, err := o.runSTPT(d, spec, truth, qs, ab.mut)
+		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, ab.mut, "ablations/"+ab.name)
 		if err != nil {
 			return nil, fmt.Errorf("ablation %s: %w", ab.name, err)
 		}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/nn"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/timeseries"
 )
 
@@ -40,6 +42,18 @@ type Options struct {
 	// Households overrides the spec's household count when positive
 	// (CER's 5000 households are expensive at small scales).
 	Households int
+
+	// Checkpoint, when non-nil, records every completed (dataset,
+	// algorithm, rep) cell so a killed sweep resumes at the last finished
+	// cell instead of recomputing hours of work. Cells are keyed by the
+	// experiment's stable identity (e.g. "fig6/CER/uniform/stpt/rep3"),
+	// never by wall-clock, so a resumed run reproduces the uninterrupted
+	// result bit for bit. nil disables checkpointing.
+	Checkpoint *resilience.Checkpoint
+	// Retry governs baseline-release retries on retryable failures; the
+	// zero value keeps the historical fail-fast behaviour. (STPT runs
+	// carry their own policy inside core.Config.)
+	Retry resilience.Policy
 }
 
 // Quick returns a configuration that exercises every code path in seconds.
@@ -129,51 +143,172 @@ func (o Options) drawQueries(truth *grid.Matrix) map[query.Class][]grid.Query {
 	return out
 }
 
+// mreCell is the checkpoint encoding of one rep's per-class MRE (JSON
+// object keys must be strings, query.Class is an int).
+type mreCell struct {
+	MRE map[string]float64 `json:"mre"`
+}
+
+func encodeMRE(m map[query.Class]float64) mreCell {
+	out := mreCell{MRE: make(map[string]float64, len(m))}
+	for c, v := range m {
+		out.MRE[c.String()] = v
+	}
+	return out
+}
+
+// decode maps class names back; unknown names mean a stale checkpoint
+// cell, reported as a miss by the caller.
+func (c mreCell) decode() (map[query.Class]float64, bool) {
+	out := make(map[query.Class]float64, len(c.MRE))
+	for name, v := range c.MRE {
+		found := false
+		for _, cl := range query.Classes() {
+			if cl.String() == name {
+				out[cl] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// lookupRep fetches one rep's checkpointed MRE; a miss (or stale cell)
+// returns nil.
+func (o Options) lookupRep(key string) map[query.Class]float64 {
+	if key == "" {
+		return nil
+	}
+	var cell mreCell
+	if !o.Checkpoint.Lookup(key, &cell) {
+		return nil
+	}
+	m, ok := cell.decode()
+	if !ok {
+		return nil
+	}
+	return m
+}
+
+// recordRep persists one rep's MRE, after giving the FaultCheckpoint
+// injection point a chance to simulate a crash-before-write.
+func (o Options) recordRep(ctx context.Context, key string, m map[query.Class]float64) error {
+	if key == "" || o.Checkpoint == nil {
+		return nil
+	}
+	if err := resilience.Fire(ctx, resilience.FaultCheckpoint, key); err != nil {
+		return err
+	}
+	return o.Checkpoint.Record(key, encodeMRE(m))
+}
+
 // runSTPT runs STPT o.Reps times (varying the noise seed) and averages the
-// per-class MRE. It returns the last run's result for diagnostics.
-func (o Options) runSTPT(d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query, mutate func(*core.Config)) (AlgResult, *core.Result, error) {
+// per-class MRE. It returns the last computed run's result for
+// diagnostics (nil when every rep came from the checkpoint). ckKey is the
+// stable checkpoint prefix for this (experiment, dataset, algorithm)
+// cell; "" disables checkpointing.
+func (o Options) runSTPT(ctx context.Context, d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query, mutate func(*core.Config), ckKey string) (AlgResult, *core.Result, error) {
 	cfg := o.STPTConfig(spec)
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	acc := map[query.Class]float64{}
 	var last *core.Result
+	computed := 0
 	start := time.Now()
 	for rep := 0; rep < o.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return AlgResult{}, nil, err
+		}
+		key := repKey(ckKey, rep)
+		if cached := o.lookupRep(key); cached != nil {
+			for c, v := range cached {
+				acc[c] += v
+			}
+			continue
+		}
 		cfg.Seed = o.Seed + int64(rep)
-		res, err := core.Run(d, cfg)
+		res, err := core.RunContext(ctx, d, cfg)
 		if err != nil {
 			return AlgResult{}, nil, err
 		}
 		last = res
-		for c, v := range evalRelease(truth, res.Sanitized, qs) {
+		computed++
+		ev := evalRelease(truth, res.Sanitized, qs)
+		for c, v := range ev {
 			acc[c] += v
+		}
+		if err := o.recordRep(ctx, key, ev); err != nil {
+			return AlgResult{}, nil, err
 		}
 	}
 	for c := range acc {
 		acc[c] /= float64(o.Reps)
 	}
-	return AlgResult{Name: "stpt", MRE: acc, Seconds: time.Since(start).Seconds() / float64(o.Reps)}, last, nil
+	secs := 0.0
+	if computed > 0 {
+		secs = time.Since(start).Seconds() / float64(computed)
+	}
+	return AlgResult{Name: "stpt", MRE: acc, Seconds: secs}, last, nil
 }
 
-// runBaseline averages a baseline's per-class MRE over o.Reps seeds.
-func (o Options) runBaseline(alg baselines.Algorithm, d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query) (AlgResult, error) {
+// runBaseline averages a baseline's per-class MRE over o.Reps seeds, with
+// per-rep checkpointing and o.Retry-governed retries of retryable release
+// failures (each retry draws a jittered seed).
+func (o Options) runBaseline(ctx context.Context, alg baselines.Algorithm, d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query, ckKey string) (AlgResult, error) {
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	acc := map[query.Class]float64{}
+	computed := 0
 	start := time.Now()
 	for rep := 0; rep < o.Reps; rep++ {
-		rel, err := alg.Release(in, o.EpsPattern+o.EpsSanitize, o.Seed+int64(rep))
+		if err := ctx.Err(); err != nil {
+			return AlgResult{}, err
+		}
+		key := repKey(ckKey, rep)
+		if cached := o.lookupRep(key); cached != nil {
+			for c, v := range cached {
+				acc[c] += v
+			}
+			continue
+		}
+		var rel *grid.Matrix
+		err := resilience.Retry(ctx, o.Retry, func(_ int, seedOffset int64) error {
+			var rerr error
+			rel, rerr = baselines.ReleaseContext(ctx, alg, in, o.EpsPattern+o.EpsSanitize, o.Seed+int64(rep)+seedOffset)
+			return rerr
+		})
 		if err != nil {
 			return AlgResult{}, err
 		}
-		for c, v := range evalRelease(truth, rel, qs) {
+		computed++
+		ev := evalRelease(truth, rel, qs)
+		for c, v := range ev {
 			acc[c] += v
+		}
+		if err := o.recordRep(ctx, key, ev); err != nil {
+			return AlgResult{}, err
 		}
 	}
 	for c := range acc {
 		acc[c] /= float64(o.Reps)
 	}
-	return AlgResult{Name: alg.Name(), MRE: acc, Seconds: time.Since(start).Seconds() / float64(o.Reps)}, nil
+	secs := 0.0
+	if computed > 0 {
+		secs = time.Since(start).Seconds() / float64(computed)
+	}
+	return AlgResult{Name: alg.Name(), MRE: acc, Seconds: secs}, nil
+}
+
+// repKey appends the rep index to a checkpoint prefix ("" stays "").
+func repKey(prefix string, rep int) string {
+	if prefix == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s/rep%d", prefix, rep)
 }
 
 // printMRETable renders algorithm rows with per-class columns.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,6 +20,11 @@ type ExtendedRow struct {
 // RunExtended measures the extended comparators on CER under both
 // layouts.
 func RunExtended(o Options) ([]ExtendedRow, error) {
+	return RunExtendedContext(context.Background(), o)
+}
+
+// RunExtendedContext is the cancellable, checkpointed variant.
+func RunExtendedContext(ctx context.Context, o Options) ([]ExtendedRow, error) {
 	var rows []ExtendedRow
 	spec := datasets.CER
 	for _, layout := range []datasets.Layout{datasets.Uniform, datasets.Normal} {
@@ -27,14 +33,15 @@ func RunExtended(o Options) ([]ExtendedRow, error) {
 		truth := in.Truth()
 		qs := o.drawQueries(truth)
 		row := ExtendedRow{Dataset: spec.Name, Layout: layout.String()}
+		prefix := fmt.Sprintf("extended/%s/%s", spec.Name, layout)
 
-		stptRes, _, err := o.runSTPT(d, spec, truth, qs, nil)
+		stptRes, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, prefix+"/stpt")
 		if err != nil {
 			return nil, fmt.Errorf("extended %s: %w", layout, err)
 		}
 		row.Results = append(row.Results, stptRes)
 		for _, alg := range baselines.Extended() {
-			r, err := o.runBaseline(alg, d, spec, truth, qs)
+			r, err := o.runBaseline(ctx, alg, d, spec, truth, qs, prefix+"/"+alg.Name())
 			if err != nil {
 				return nil, fmt.Errorf("extended %s/%s: %w", layout, alg.Name(), err)
 			}

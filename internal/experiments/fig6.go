@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -43,10 +44,17 @@ func Improvement(row Fig6Row, classIdx int) float64 {
 // dataset, under the Uniform and Normal layouts, for all three query
 // classes.
 func RunFig6(o Options) ([]Fig6Row, error) {
+	return RunFig6Context(context.Background(), o)
+}
+
+// RunFig6Context is RunFig6 with cooperative cancellation and, when
+// o.Checkpoint is set, resume at the last completed (dataset, algorithm,
+// rep) cell.
+func RunFig6Context(ctx context.Context, o Options) ([]Fig6Row, error) {
 	var rows []Fig6Row
 	for _, spec := range datasets.All() {
 		for _, layout := range []datasets.Layout{datasets.Uniform, datasets.Normal} {
-			row, err := runFig6Row(o, spec, layout)
+			row, err := runFig6Row(ctx, o, spec, layout)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s/%s: %w", spec.Name, layout, err)
 			}
@@ -58,23 +66,31 @@ func RunFig6(o Options) ([]Fig6Row, error) {
 
 // RunFig6Single regenerates one dataset/layout panel (used by benches).
 func RunFig6Single(o Options, spec datasets.Spec, layout datasets.Layout) (Fig6Row, error) {
-	return runFig6Row(o, spec, layout)
+	return runFig6Row(context.Background(), o, spec, layout)
 }
 
-func runFig6Row(o Options, spec datasets.Spec, layout datasets.Layout) (Fig6Row, error) {
+// RunFig6SingleContext is RunFig6Single with cancellation + checkpoints.
+// Cell keys match RunFig6Context's, so a single-panel run and a full
+// sweep share completed work.
+func RunFig6SingleContext(ctx context.Context, o Options, spec datasets.Spec, layout datasets.Layout) (Fig6Row, error) {
+	return runFig6Row(ctx, o, spec, layout)
+}
+
+func runFig6Row(ctx context.Context, o Options, spec datasets.Spec, layout datasets.Layout) (Fig6Row, error) {
 	d := o.generate(spec, layout)
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	truth := in.Truth()
 	qs := o.drawQueries(truth)
 	row := Fig6Row{Dataset: spec.Name, Layout: layout.String()}
+	prefix := fmt.Sprintf("fig6/%s/%s", spec.Name, layout)
 
-	stptRes, _, err := o.runSTPT(d, spec, truth, qs, nil)
+	stptRes, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, prefix+"/stpt")
 	if err != nil {
 		return row, err
 	}
 	row.Results = append(row.Results, stptRes)
 	for _, alg := range baselines.Registry() {
-		r, err := o.runBaseline(alg, d, spec, truth, qs)
+		r, err := o.runBaseline(ctx, alg, d, spec, truth, qs, prefix+"/"+alg.Name())
 		if err != nil {
 			return row, fmt.Errorf("%s: %w", alg.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,6 +18,12 @@ type Fig7Result struct {
 
 // RunFig7 regenerates Figure 7 for each dataset under the LA layout.
 func RunFig7(o Options) ([]Fig7Result, error) {
+	return RunFig7Context(context.Background(), o)
+}
+
+// RunFig7Context is RunFig7 with cooperative cancellation and per-cell
+// checkpoint resume.
+func RunFig7Context(ctx context.Context, o Options) ([]Fig7Result, error) {
 	var out []Fig7Result
 	for _, spec := range datasets.All() {
 		d := o.generate(spec, datasets.LosAngeles)
@@ -24,8 +31,9 @@ func RunFig7(o Options) ([]Fig7Result, error) {
 		truth := in.Truth()
 		qs := o.drawQueries(truth)
 		res := Fig7Result{Dataset: spec.Name}
+		prefix := "fig7/" + spec.Name
 
-		stptRes, _, err := o.runSTPT(d, spec, truth, qs, nil)
+		stptRes, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, prefix+"/stpt")
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
 		}
@@ -35,7 +43,7 @@ func RunFig7(o Options) ([]Fig7Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := o.runBaseline(alg, d, spec, truth, qs)
+			r, err := o.runBaseline(ctx, alg, d, spec, truth, qs, prefix+"/"+name)
 			if err != nil {
 				return nil, fmt.Errorf("fig7 %s/%s: %w", spec.Name, name, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -10,6 +11,13 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/query"
 )
+
+// patternCell is the checkpoint encoding of one rep's pattern errors
+// (the Figure 8 a/b/e/f sweeps).
+type patternCell struct {
+	MAE  float64 `json:"mae"`
+	RMSE float64 `json:"rmse"`
+}
 
 // fig8Spec is the dataset the detailed panels run on; the paper uses CER.
 func fig8Spec() datasets.Spec { return datasets.CER }
@@ -28,6 +36,11 @@ type SweepPoint struct {
 // the per-training-datapoint budget ε_pattern/TTrain varies while the
 // sanitisation budget stays fixed.
 func RunFig8PatternBudget(o Options) ([]SweepPoint, error) {
+	return RunFig8PatternBudgetContext(context.Background(), o)
+}
+
+// RunFig8PatternBudgetContext is the cancellable, checkpointed variant.
+func RunFig8PatternBudgetContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	perPoint := []float64{0.01, 0.05, 0.1, 0.2, 0.5}
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
@@ -35,15 +48,28 @@ func RunFig8PatternBudget(o Options) ([]SweepPoint, error) {
 	for _, pp := range perPoint {
 		var mae, rmse float64
 		for rep := 0; rep < o.Reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			key := repKey(fmt.Sprintf("fig8ab/pp%g", pp), rep)
+			var cell patternCell
+			if o.Checkpoint.Lookup(key, &cell) {
+				mae += cell.MAE
+				rmse += cell.RMSE
+				continue
+			}
 			cfg := o.STPTConfig(spec)
 			cfg.EpsPattern = pp * float64(o.TTrain)
 			cfg.Seed = o.Seed + int64(rep)
-			res, err := core.Run(d, cfg)
+			res, err := core.RunContext(ctx, d, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig8ab ε/point=%v: %w", pp, err)
 			}
 			mae += res.PatternMAE
 			rmse += res.PatternRMSE
+			if err := o.Checkpoint.Record(key, patternCell{MAE: res.PatternMAE, RMSE: res.PatternRMSE}); err != nil {
+				return nil, err
+			}
 		}
 		out = append(out, SweepPoint{
 			X: pp, Label: fmt.Sprintf("%.2f", pp),
@@ -56,6 +82,11 @@ func RunFig8PatternBudget(o Options) ([]SweepPoint, error) {
 // RunFig8Quantization regenerates Figure 8(c): query MRE as the number of
 // quantization levels k varies.
 func RunFig8Quantization(o Options) ([]SweepPoint, error) {
+	return RunFig8QuantizationContext(context.Background(), o)
+}
+
+// RunFig8QuantizationContext is the cancellable, checkpointed variant.
+func RunFig8QuantizationContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	levels := []int{2, 4, 8, 16, 32, 64}
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
@@ -64,7 +95,8 @@ func RunFig8Quantization(o Options) ([]SweepPoint, error) {
 	qs := o.drawQueries(truth)
 	var out []SweepPoint
 	for _, k := range levels {
-		r, _, err := o.runSTPT(d, spec, truth, qs, func(c *core.Config) { c.QuantLevels = k })
+		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, func(c *core.Config) { c.QuantLevels = k },
+			fmt.Sprintf("fig8c/k%d", k))
 		if err != nil {
 			return nil, fmt.Errorf("fig8c k=%d: %w", k, err)
 		}
@@ -82,6 +114,13 @@ type RuntimeResult struct {
 // RunFig8Runtime regenerates Figure 8(d): end-to-end runtime of every
 // algorithm on the same dataset.
 func RunFig8Runtime(o Options) ([]RuntimeResult, error) {
+	return RunFig8RuntimeContext(context.Background(), o)
+}
+
+// RunFig8RuntimeContext is the cancellable variant. Runtime measurements
+// are deliberately not checkpointed: a resumed timing is not the quantity
+// the panel plots.
+func RunFig8RuntimeContext(ctx context.Context, o Options) ([]RuntimeResult, error) {
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
@@ -89,14 +128,14 @@ func RunFig8Runtime(o Options) ([]RuntimeResult, error) {
 
 	start := time.Now()
 	cfg := o.STPTConfig(spec)
-	if _, err := core.Run(d, cfg); err != nil {
+	if _, err := core.RunContext(ctx, d, cfg); err != nil {
 		return nil, err
 	}
 	out = append(out, RuntimeResult{Name: "stpt", Seconds: time.Since(start).Seconds()})
 
 	for _, alg := range append(baselines.Registry(), baselines.NewWPO()) {
 		start := time.Now()
-		if _, err := alg.Release(in, o.EpsPattern+o.EpsSanitize, o.Seed); err != nil {
+		if _, err := baselines.ReleaseContext(ctx, alg, in, o.EpsPattern+o.EpsSanitize, o.Seed); err != nil {
 			return nil, fmt.Errorf("fig8d %s: %w", alg.Name(), err)
 		}
 		out = append(out, RuntimeResult{Name: alg.Name(), Seconds: time.Since(start).Seconds()})
@@ -107,6 +146,11 @@ func RunFig8Runtime(o Options) ([]RuntimeResult, error) {
 // RunFig8TreeDepth regenerates Figures 8(e, f): pattern MAE/RMSE as the
 // quadtree depth varies.
 func RunFig8TreeDepth(o Options) ([]SweepPoint, error) {
+	return RunFig8TreeDepthContext(context.Background(), o)
+}
+
+// RunFig8TreeDepthContext is the cancellable, checkpointed variant.
+func RunFig8TreeDepthContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
 	maxDepth := 0
@@ -121,11 +165,24 @@ func RunFig8TreeDepth(o Options) ([]SweepPoint, error) {
 		var mae, rmse float64
 		ok := true
 		for rep := 0; rep < o.Reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			key := repKey(fmt.Sprintf("fig8ef/depth%d", depth), rep)
+			var cell patternCell
+			if o.Checkpoint.Lookup(key, &cell) {
+				mae += cell.MAE
+				rmse += cell.RMSE
+				continue
+			}
 			cfg := o.STPTConfig(spec)
 			cfg.Depth = depth
 			cfg.Seed = o.Seed + int64(rep)
-			res, err := core.Run(d, cfg)
+			res, err := core.RunContext(ctx, d, cfg)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, err
+				}
 				// Depths whose segments undercut the window size are
 				// structurally impossible at this scale; skip them.
 				ok = false
@@ -133,6 +190,9 @@ func RunFig8TreeDepth(o Options) ([]SweepPoint, error) {
 			}
 			mae += res.PatternMAE
 			rmse += res.PatternRMSE
+			if err := o.Checkpoint.Record(key, patternCell{MAE: res.PatternMAE, RMSE: res.PatternRMSE}); err != nil {
+				return nil, err
+			}
 		}
 		if !ok {
 			continue
@@ -151,6 +211,11 @@ func RunFig8TreeDepth(o Options) ([]SweepPoint, error) {
 // RunFig8BudgetSplit regenerates Figure 8(g): query MRE as the share of
 // ε_tot given to pattern recognition varies, total held constant.
 func RunFig8BudgetSplit(o Options) ([]SweepPoint, error) {
+	return RunFig8BudgetSplitContext(context.Background(), o)
+}
+
+// RunFig8BudgetSplitContext is the cancellable, checkpointed variant.
+func RunFig8BudgetSplitContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	fractions := []float64{0.1, 0.2, 0.33, 0.5, 0.67, 0.8, 0.9}
 	total := o.EpsPattern + o.EpsSanitize
 	spec := fig8Spec()
@@ -160,10 +225,10 @@ func RunFig8BudgetSplit(o Options) ([]SweepPoint, error) {
 	qs := o.drawQueries(truth)
 	var out []SweepPoint
 	for _, f := range fractions {
-		r, _, err := o.runSTPT(d, spec, truth, qs, func(c *core.Config) {
+		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, func(c *core.Config) {
 			c.EpsPattern = f * total
 			c.EpsSanitize = (1 - f) * total
-		})
+		}, fmt.Sprintf("fig8g/f%g", f))
 		if err != nil {
 			return nil, fmt.Errorf("fig8g f=%v: %w", f, err)
 		}
@@ -175,6 +240,11 @@ func RunFig8BudgetSplit(o Options) ([]SweepPoint, error) {
 // RunFig8TotalBudget regenerates Figure 8(h): query MRE as ε_tot varies
 // with the pattern/sanitize ratio fixed at the paper's 1:2.
 func RunFig8TotalBudget(o Options) ([]SweepPoint, error) {
+	return RunFig8TotalBudgetContext(context.Background(), o)
+}
+
+// RunFig8TotalBudgetContext is the cancellable, checkpointed variant.
+func RunFig8TotalBudgetContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	totals := []float64{5, 10, 20, 30, 50}
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
@@ -183,10 +253,10 @@ func RunFig8TotalBudget(o Options) ([]SweepPoint, error) {
 	qs := o.drawQueries(truth)
 	var out []SweepPoint
 	for _, tot := range totals {
-		r, _, err := o.runSTPT(d, spec, truth, qs, func(c *core.Config) {
+		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, func(c *core.Config) {
 			c.EpsPattern = tot / 3
 			c.EpsSanitize = 2 * tot / 3
-		})
+		}, fmt.Sprintf("fig8h/eps%g", tot))
 		if err != nil {
 			return nil, fmt.Errorf("fig8h ε=%v: %w", tot, err)
 		}
@@ -198,6 +268,11 @@ func RunFig8TotalBudget(o Options) ([]SweepPoint, error) {
 // RunFig8Models regenerates Figure 8(i): query MRE with the RNN, GRU and
 // transformer predictors (plus LSTM, which the library also supports).
 func RunFig8Models(o Options) ([]SweepPoint, error) {
+	return RunFig8ModelsContext(context.Background(), o)
+}
+
+// RunFig8ModelsContext is the cancellable, checkpointed variant.
+func RunFig8ModelsContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	kinds := []core.ModelKind{core.ModelRNN, core.ModelGRU, core.ModelAttentiveGRU, core.ModelTransformer}
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
@@ -206,7 +281,8 @@ func RunFig8Models(o Options) ([]SweepPoint, error) {
 	qs := o.drawQueries(truth)
 	var out []SweepPoint
 	for i, kind := range kinds {
-		r, _, err := o.runSTPT(d, spec, truth, qs, func(c *core.Config) { c.Model = kind })
+		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, func(c *core.Config) { c.Model = kind },
+			"fig8i/"+kind.String())
 		if err != nil {
 			return nil, fmt.Errorf("fig8i %v: %w", kind, err)
 		}

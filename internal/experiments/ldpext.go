@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,6 +20,11 @@ type LDPResult struct {
 
 // RunLDPExtension measures the price of removing the trusted collector.
 func RunLDPExtension(o Options) ([]LDPResult, error) {
+	return RunLDPExtensionContext(context.Background(), o)
+}
+
+// RunLDPExtensionContext is the cancellable, checkpointed variant.
+func RunLDPExtensionContext(ctx context.Context, o Options) ([]LDPResult, error) {
 	var out []LDPResult
 	for _, spec := range []datasets.Spec{datasets.CER, datasets.TX} {
 		d := o.generate(spec, datasets.Uniform)
@@ -26,8 +32,9 @@ func RunLDPExtension(o Options) ([]LDPResult, error) {
 		truth := in.Truth()
 		qs := o.drawQueries(truth)
 		res := LDPResult{Dataset: spec.Name}
+		prefix := "ldp/" + spec.Name
 
-		central, _, err := o.runSTPT(d, spec, truth, qs, nil)
+		central, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, prefix+"/stpt")
 		if err != nil {
 			return nil, fmt.Errorf("ldp-ext %s: %w", spec.Name, err)
 		}
@@ -37,12 +44,26 @@ func RunLDPExtension(o Options) ([]LDPResult, error) {
 		for _, m := range []ldp.Mechanism{ldp.LocalLaplace{}, ldp.LocalSampling{}} {
 			acc := map[query.Class]float64{}
 			for rep := 0; rep < o.Reps; rep++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				key := repKey(prefix+"/"+m.Name(), rep)
+				if cached := o.lookupRep(key); cached != nil {
+					for c, v := range cached {
+						acc[c] += v
+					}
+					continue
+				}
 				rel, err := m.Release(lin, o.EpsPattern+o.EpsSanitize, o.Seed+int64(rep))
 				if err != nil {
 					return nil, fmt.Errorf("ldp-ext %s/%s: %w", spec.Name, m.Name(), err)
 				}
-				for c, v := range evalRelease(truth, rel, qs) {
+				ev := evalRelease(truth, rel, qs)
+				for c, v := range ev {
 					acc[c] += v
+				}
+				if err := o.recordRep(ctx, key, ev); err != nil {
+					return nil, err
 				}
 			}
 			for c := range acc {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -17,12 +18,33 @@ type Table2Row struct {
 // RunTable2 regenerates Table 2: per-dataset household counts and hourly
 // consumption statistics, measured over one generated week.
 func RunTable2(o Options) []Table2Row {
+	rows, _ := RunTable2Context(context.Background(), o)
+	return rows
+}
+
+// RunTable2Context is RunTable2 with cooperative cancellation and
+// per-dataset checkpoint cells (keyed "table2/<dataset>"). The only
+// error sources are the context and checkpoint I/O.
+func RunTable2Context(ctx context.Context, o Options) ([]Table2Row, error) {
 	rows := make([]Table2Row, 0, 4)
 	for _, spec := range datasets.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		key := "table2/" + spec.Name
+		var st datasets.Stats
+		if o.Checkpoint.Lookup(key, &st) {
+			rows = append(rows, Table2Row{Spec: spec, Measured: st})
+			continue
+		}
 		d := spec.Generate(datasets.Uniform, o.Cx, o.Cy, 7*24, o.Seed)
-		rows = append(rows, Table2Row{Spec: spec, Measured: datasets.Summarize(d)})
+		st = datasets.Summarize(d)
+		if err := o.Checkpoint.Record(key, st); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{Spec: spec, Measured: st})
 	}
-	return rows
+	return rows, nil
 }
 
 // PrintTable2 renders paper-vs-measured columns.

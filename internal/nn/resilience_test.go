@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/resilience"
+	"repro/internal/timeseries"
+)
+
+func trainerForTest(seed int64) (*Trainer, []timeseries.Window) {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewRecurrentModel("t", 4, 0, 4, NewRNNCell("cell", 4, 4, rng), rng)
+	var samples []timeseries.Window
+	for i := 0; i < 40; i++ {
+		w := timeseries.Window{Input: make([]float64, 4), Target: float64(i%3) * 0.1}
+		for j := range w.Input {
+			w.Input[j] = rng.Float64()
+		}
+		samples = append(samples, w)
+	}
+	return &Trainer{Model: m, Opt: NewRMSProp(1e-3), Cfg: TrainConfig{Epochs: 5, BatchSize: 8, ClipNorm: 5}, Rng: rng}, samples
+}
+
+func TestFitContextCancelledStopsEarly(t *testing.T) {
+	tr, samples := trainerForTest(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.FitContext(ctx, samples); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFitDivergenceIsRetryable(t *testing.T) {
+	tr, samples := trainerForTest(1)
+	inj := resilience.NewInjector().On(resilience.FaultTrainStep, func(_ context.Context, payload any) error {
+		payload.([]*Param)[0].W.Data[0] = math.NaN()
+		return nil
+	})
+	ctx := resilience.WithInjector(context.Background(), inj)
+	_, err := tr.FitContext(ctx, samples)
+	if err == nil {
+		t.Fatal("poisoned training did not diverge")
+	}
+	if !resilience.IsRetryable(err) {
+		t.Fatalf("divergence not retryable: %v", err)
+	}
+	if inj.Fired(resilience.FaultTrainStep) != 1 {
+		t.Fatalf("training continued past divergence: %d epochs", inj.Fired(resilience.FaultTrainStep))
+	}
+}

@@ -1,9 +1,11 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"repro/internal/resilience"
 	"repro/internal/timeseries"
 )
 
@@ -30,6 +32,15 @@ type Trainer struct {
 
 // Fit trains the model and returns the mean training loss of each epoch.
 func (tr *Trainer) Fit(samples []timeseries.Window) ([]float64, error) {
+	return tr.FitContext(context.Background(), samples)
+}
+
+// FitContext is Fit with cooperative cancellation: the context is checked
+// at every batch boundary, so a cancelled or deadline-expired training run
+// stops within one batch rather than one full fit. Divergence (non-finite
+// weights after an epoch) is reported as a retryable error: a fresh seed
+// usually draws DP noise the optimiser survives.
+func (tr *Trainer) FitContext(ctx context.Context, samples []timeseries.Window) ([]float64, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("nn: no training samples")
 	}
@@ -46,6 +57,9 @@ func (tr *Trainer) Fit(samples []timeseries.Window) ([]float64, error) {
 		tr.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss float64
 		for start := 0; start < len(idx); start += tr.Cfg.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return losses, err
+			}
 			end := start + tr.Cfg.BatchSize
 			if end > len(idx) {
 				end = len(idx)
@@ -64,8 +78,11 @@ func (tr *Trainer) Fit(samples []timeseries.Window) ([]float64, error) {
 			tr.Opt.Step(params)
 		}
 		losses = append(losses, epochLoss/float64(len(samples)))
+		if err := resilience.Fire(ctx, resilience.FaultTrainStep, params); err != nil {
+			return losses, err
+		}
 		if err := CheckFinite(params); err != nil {
-			return losses, fmt.Errorf("nn: training diverged at epoch %d: %w", epoch, err)
+			return losses, resilience.MarkRetryable(fmt.Errorf("nn: training diverged at epoch %d: %w", epoch, err))
 		}
 	}
 	return losses, nil

@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointFile is the JSON document persisted to disk.
+type checkpointFile struct {
+	Version int                        `json:"version"`
+	Cells   map[string]json.RawMessage `json:"cells"`
+}
+
+// Checkpoint is a keyed store of completed experiment cells. Each Record
+// rewrites the whole file atomically (write to a temp file in the same
+// directory, fsync, rename), so a kill at any instant leaves either the
+// previous or the new consistent state — never a torn file. A nil
+// *Checkpoint is valid and disables checkpointing (Lookup misses,
+// Record no-ops), which keeps call sites free of nil checks.
+//
+// Cells are keyed hierarchically, e.g. "fig6/CER/uniform/identity/rep3",
+// at the granularity of one (dataset, algorithm, rep) unit of work.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string // "" = memory-only (tests)
+	done map[string]json.RawMessage
+}
+
+// OpenCheckpoint loads the checkpoint at path, or starts an empty one if
+// the file does not exist yet. A corrupt or version-mismatched file is an
+// error rather than a silent restart, so a sweep never quietly recomputes
+// hours of work.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, done: make(map[string]json.RawMessage)}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resilience: reading checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("resilience: corrupt checkpoint %s: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("resilience: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	if f.Cells != nil {
+		c.done = f.Cells
+	}
+	return c, nil
+}
+
+// NewMemoryCheckpoint returns a checkpoint that never touches disk.
+func NewMemoryCheckpoint() *Checkpoint {
+	return &Checkpoint{done: make(map[string]json.RawMessage)}
+}
+
+// Lookup unmarshals the cell stored under key into out and reports
+// whether it was present. out may be nil to test presence only.
+func (c *Checkpoint) Lookup(key string, out any) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	raw, ok := c.done[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if out == nil {
+		return true
+	}
+	// A cell that no longer unmarshals counts as missing: recomputing is
+	// always safe, serving a half-decoded cell is not.
+	return json.Unmarshal(raw, out) == nil
+}
+
+// Record stores val under key and persists the file atomically. Recording
+// on a nil checkpoint is a no-op.
+func (c *Checkpoint) Record(key string, val any) error {
+	if c == nil {
+		return nil
+	}
+	raw, err := json.Marshal(val)
+	if err != nil {
+		return fmt.Errorf("resilience: encoding cell %q: %w", key, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[key] = raw
+	return c.saveLocked()
+}
+
+// Len returns the number of completed cells.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Keys returns the completed cell keys, sorted (diagnostics and tests).
+func (c *Checkpoint) Keys() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.done))
+	for k := range c.done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// saveLocked writes the file atomically; callers hold c.mu.
+func (c *Checkpoint) saveLocked() error {
+	if c.path == "" {
+		return nil
+	}
+	raw, err := json.Marshal(checkpointFile{Version: checkpointVersion, Cells: c.done})
+	if err != nil {
+		return fmt.Errorf("resilience: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resilience: writing checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(raw)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resilience: committing checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+)
+
+// Fault names an injection point in the pipeline. Production code calls
+// Fire at these points; tests install hooks that poison state, return
+// errors, or stall until a deadline to exercise the recovery paths.
+type Fault string
+
+const (
+	// FaultTrainStep fires after every training epoch's optimiser steps,
+	// with the model's parameter set as payload. A test hook can poison
+	// the weights with NaN to simulate DP-noise-induced divergence.
+	FaultTrainStep Fault = "nn/train-step"
+	// FaultRelease fires before a baseline release, with the algorithm
+	// name as payload. A hook can return an error (failed release) or
+	// block on ctx.Done() (delay past a deadline).
+	FaultRelease Fault = "baselines/release"
+	// FaultCheckpoint fires before a checkpoint cell is recorded, with the
+	// cell key as payload, so tests can kill a sweep mid-write.
+	FaultCheckpoint Fault = "resilience/checkpoint"
+)
+
+// Hook is a fault handler. Returning a non-nil error makes the injection
+// point fail with that error; hooks may also mutate the payload in place.
+type Hook func(ctx context.Context, payload any) error
+
+// Injector carries a set of fault hooks through a context. The zero
+// Injector (and a nil one) fires nothing.
+type Injector struct {
+	mu    sync.Mutex
+	hooks map[Fault][]Hook
+	fired map[Fault]int
+}
+
+// NewInjector returns an empty injector.
+func NewInjector() *Injector { return &Injector{} }
+
+// On registers a hook for a fault point. Multiple hooks run in order;
+// the first error wins.
+func (in *Injector) On(f Fault, h Hook) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.hooks == nil {
+		in.hooks = make(map[Fault][]Hook)
+	}
+	in.hooks[f] = append(in.hooks[f], h)
+	return in
+}
+
+// Fired returns how many times a fault point has fired (whether or not a
+// hook was registered for it).
+func (in *Injector) Fired(f Fault) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[f]
+}
+
+func (in *Injector) fire(ctx context.Context, f Fault, payload any) error {
+	in.mu.Lock()
+	if in.fired == nil {
+		in.fired = make(map[Fault]int)
+	}
+	in.fired[f]++
+	hooks := in.hooks[f]
+	in.mu.Unlock()
+	for _, h := range hooks {
+		if err := h(ctx, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type injectorKey struct{}
+
+// WithInjector returns a context carrying the injector.
+func WithInjector(ctx context.Context, in *Injector) context.Context {
+	return context.WithValue(ctx, injectorKey{}, in)
+}
+
+// InjectorFrom extracts the context's injector, or nil.
+func InjectorFrom(ctx context.Context) *Injector {
+	in, _ := ctx.Value(injectorKey{}).(*Injector)
+	return in
+}
+
+// Fire triggers a fault point. Without an injector in the context it is a
+// cheap no-op returning nil, so production paths pay one context lookup.
+func Fire(ctx context.Context, f Fault, payload any) error {
+	in := InjectorFrom(ctx)
+	if in == nil {
+		return nil
+	}
+	return in.fire(ctx, f, payload)
+}

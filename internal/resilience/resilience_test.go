@@ -1,0 +1,299 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	if IsRetryable(nil) {
+		t.Fatal("nil is retryable")
+	}
+	plain := errors.New("boom")
+	if IsRetryable(plain) {
+		t.Fatal("plain error is retryable")
+	}
+	marked := MarkRetryable(plain)
+	if !IsRetryable(marked) {
+		t.Fatal("marked error not retryable")
+	}
+	if !errors.Is(marked, plain) {
+		t.Fatal("marking breaks the error chain")
+	}
+	// Wrapping a marked error keeps it retryable.
+	wrapped := fmt.Errorf("outer: %w", marked)
+	if !IsRetryable(wrapped) {
+		t.Fatal("wrapped marked error not retryable")
+	}
+	// Cancellation is the caller's intent to stop — never retryable,
+	// even when something marked it.
+	if IsRetryable(context.Canceled) || IsRetryable(context.DeadlineExceeded) {
+		t.Fatal("context errors must not be retryable")
+	}
+	if IsRetryable(MarkRetryable(fmt.Errorf("t: %w", context.Canceled))) {
+		t.Fatal("marked cancellation must not be retryable")
+	}
+	if MarkRetryable(nil) != nil {
+		t.Fatal("MarkRetryable(nil) != nil")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var offsets []int64
+	p := Policy{MaxAttempts: 4, SeedJitter: 100}
+	err := Retry(context.Background(), p, func(attempt int, off int64) error {
+		offsets = append(offsets, off)
+		if attempt < 2 {
+			return MarkRetryable(errors.New("diverged"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	want := []int64{0, 100, 200}
+	if len(offsets) != len(want) {
+		t.Fatalf("attempts = %v", offsets)
+	}
+	for i, w := range want {
+		if offsets[i] != w {
+			t.Fatalf("offset[%d] = %d, want %d", i, offsets[i], w)
+		}
+	}
+}
+
+func TestRetryStopsOnFatalError(t *testing.T) {
+	fatal := errors.New("bad config")
+	calls := 0
+	err := Retry(context.Background(), Policy{MaxAttempts: 5}, func(int, int64) error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), Policy{MaxAttempts: 3}, func(int, int64) error {
+		calls++
+		return MarkRetryable(errors.New("still diverged"))
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// The exhausted error stays retryable so outer layers can degrade.
+	if !IsRetryable(err) {
+		t.Fatal("exhausted error lost its class")
+	}
+}
+
+func TestRetryHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, Policy{MaxAttempts: 3}, func(int, int64) error {
+		calls++
+		return MarkRetryable(errors.New("x"))
+	})
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestZeroPolicyIsSingleAttempt(t *testing.T) {
+	calls := 0
+	_ = Retry(context.Background(), Policy{}, func(int, int64) error {
+		calls++
+		return MarkRetryable(errors.New("x"))
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestInjectorFireAndCount(t *testing.T) {
+	// No injector in the context: Fire is a nil no-op.
+	if err := Fire(context.Background(), FaultTrainStep, nil); err != nil {
+		t.Fatalf("bare Fire: %v", err)
+	}
+
+	inj := NewInjector()
+	boom := errors.New("injected")
+	inj.On(FaultRelease, func(_ context.Context, payload any) error {
+		if payload.(string) == "identity" {
+			return boom
+		}
+		return nil
+	})
+	ctx := WithInjector(context.Background(), inj)
+	if err := Fire(ctx, FaultRelease, "fast"); err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+	if err := Fire(ctx, FaultRelease, "identity"); !errors.Is(err, boom) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	// Unhooked points still count fires.
+	_ = Fire(ctx, FaultTrainStep, nil)
+	if inj.Fired(FaultRelease) != 2 || inj.Fired(FaultTrainStep) != 1 {
+		t.Fatalf("fired = %d/%d", inj.Fired(FaultRelease), inj.Fired(FaultTrainStep))
+	}
+	var nilInj *Injector
+	if nilInj.Fired(FaultRelease) != 0 {
+		t.Fatal("nil injector counts")
+	}
+}
+
+func TestInjectorHookMutatesPayload(t *testing.T) {
+	inj := NewInjector().On(FaultTrainStep, func(_ context.Context, payload any) error {
+		*(payload.(*float64)) = -1
+		return nil
+	})
+	ctx := WithInjector(context.Background(), inj)
+	v := 1.0
+	if err := Fire(ctx, FaultTrainStep, &v); err != nil || v != -1 {
+		t.Fatalf("err=%v v=%v", err, v)
+	}
+}
+
+type cell struct {
+	MAE  float64 `json:"mae"`
+	RMSE float64 `json:"rmse"`
+}
+
+func TestCheckpointRoundTripAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup("fig6/CER/uniform/stpt/rep0", nil) {
+		t.Fatal("fresh checkpoint has cells")
+	}
+	if err := c.Record("fig6/CER/uniform/stpt/rep0", cell{MAE: 1.5, RMSE: 2.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("fig6/CER/uniform/identity/rep0", cell{MAE: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill + restart: reopen from disk.
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("Len = %d", c2.Len())
+	}
+	var got cell
+	if !c2.Lookup("fig6/CER/uniform/stpt/rep0", &got) || got.MAE != 1.5 || got.RMSE != 2.25 {
+		t.Fatalf("lookup = %+v", got)
+	}
+	if c2.Lookup("fig6/CER/uniform/fast/rep0", &got) {
+		t.Fatal("phantom cell")
+	}
+}
+
+func TestCheckpointRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"version":99,"cells":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestNilCheckpointIsInert(t *testing.T) {
+	var c *Checkpoint
+	if c.Lookup("k", nil) {
+		t.Fatal("nil lookup hit")
+	}
+	if err := c.Record("k", 1); err != nil {
+		t.Fatalf("nil record: %v", err)
+	}
+	if c.Len() != 0 || c.Keys() != nil {
+		t.Fatal("nil checkpoint not empty")
+	}
+}
+
+func TestCheckpointConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("cell/%d", i)
+			if err := c.Record(key, cell{MAE: float64(i)}); err != nil {
+				t.Errorf("record %d: %v", i, err)
+			}
+			var got cell
+			if !c.Lookup(key, &got) {
+				t.Errorf("lookup %d missed", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 16 {
+		t.Fatalf("persisted %d cells", c2.Len())
+	}
+}
+
+func TestCheckpointAtomicFileNeverTorn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "atomic.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Record(fmt.Sprintf("k%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+		// After every Record the on-disk file must parse completely.
+		if _, err := OpenCheckpoint(path); err != nil {
+			t.Fatalf("torn state after record %d: %v", i, err)
+		}
+	}
+	// No temp litter left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir has %d entries", len(ents))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	var r *Report
+	if r.String() == "" {
+		t.Fatal("nil report string empty")
+	}
+	r = &Report{Attempts: 3, Degraded: true, Final: "persistence"}
+	r.Note(errors.New("diverged"))
+	if len(r.Errors) != 1 || r.String() == "" {
+		t.Fatalf("report %+v", r)
+	}
+}

@@ -17,6 +17,7 @@
 package stpt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/ldp"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/timeseries"
 )
 
@@ -54,6 +56,14 @@ type (
 	Algorithm = baselines.Algorithm
 	// BaselineInput bundles a baseline's inputs.
 	BaselineInput = baselines.Input
+	// RetryPolicy governs retry-with-fresh-seed on retryable failures
+	// (Config.Retry); the zero value means a single attempt.
+	RetryPolicy = resilience.Policy
+	// RecoveryReport records how a run recovered — attempts consumed,
+	// whether it degraded to a fallback model (Result.Recovery).
+	RecoveryReport = resilience.Report
+	// Checkpoint persists completed sweep cells for crash-safe resume.
+	Checkpoint = resilience.Checkpoint
 )
 
 // Model kinds for Config.Model (Figure 8(i)).
@@ -96,6 +106,22 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // training prefix and whose remainder is the released horizon.
 func Run(d *Dataset, cfg Config) (*Result, error) { return core.Run(d, cfg) }
 
+// RunContext is Run with cooperative cancellation: training and release
+// stop promptly when ctx is cancelled or its deadline passes. Retryable
+// failures (e.g. diverged training) are retried per cfg.Retry and degrade
+// down cfg.FallbackModels; Result.Recovery records what happened.
+func RunContext(ctx context.Context, d *Dataset, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, d, cfg)
+}
+
+// DefaultRetryPolicy is the retry policy used by DefaultConfig: three
+// attempts with deterministic seed jitter between them.
+func DefaultRetryPolicy() RetryPolicy { return resilience.DefaultPolicy() }
+
+// OpenCheckpoint opens (or creates) a sweep checkpoint file for use with
+// the experiment runners' Options.Checkpoint.
+func OpenCheckpoint(path string) (*Checkpoint, error) { return resilience.OpenCheckpoint(path) }
+
 // GenerateDataset synthesises a dataset calibrated to the spec's published
 // statistics, with households placed under the layout.
 func GenerateDataset(spec DatasetSpec, layout datasets.Layout, cx, cy, T int, seed int64) *Dataset {
@@ -124,6 +150,20 @@ func RunBaseline(name string, d *Dataset, tTrain int, cellSensitivity, epsilon f
 	}
 	in := baselines.Input{Dataset: d, TTrain: tTrain, CellSensitivity: cellSensitivity}
 	return alg.Release(in, epsilon, seed)
+}
+
+// RunBaselineContext is RunBaseline with cooperative cancellation:
+// iterative baselines (LGAN-DP) check ctx between iterations.
+func RunBaselineContext(ctx context.Context, name string, d *Dataset, tTrain int, cellSensitivity, epsilon float64, seed int64) (*Matrix, error) {
+	alg, err := baselines.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if d.T() <= tTrain {
+		return nil, fmt.Errorf("stpt: dataset length %d must exceed tTrain %d", d.T(), tTrain)
+	}
+	in := baselines.Input{Dataset: d, TTrain: tTrain, CellSensitivity: cellSensitivity}
+	return baselines.ReleaseContext(ctx, alg, in, epsilon, seed)
 }
 
 // TruthMatrix returns the non-private consumption matrix over the horizon
