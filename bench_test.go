@@ -4,12 +4,14 @@
 // percent, MAE/RMSE, or seconds), so `go test -bench=. -benchmem` emits
 // the series the paper plots alongside the usual ns/op. Benchmarks run at
 // a reduced scale by default; set STPT_BENCH_SCALE=bench or =paper for
-// larger grids (see internal/experiments).
+// larger grids (see internal/experiments), and STPT_BENCH_WORKERS=n to
+// run sweep cells on an n-worker pool (same results, less wall-clock).
 package repro
 
 import (
 	"math/rand"
 	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/baselines"
@@ -23,18 +25,24 @@ import (
 )
 
 // benchOptions picks the experiment scale from the environment.
+// STPT_BENCH_WORKERS sets the sweep worker-pool size (results are
+// bit-identical for every count; it only changes wall-clock).
 func benchOptions() experiments.Options {
+	var o experiments.Options
 	switch os.Getenv("STPT_BENCH_SCALE") {
 	case "paper":
-		return experiments.Paper()
+		o = experiments.Paper()
 	case "bench":
-		return experiments.Bench()
+		o = experiments.Bench()
 	default:
-		o := experiments.Quick()
+		o = experiments.Quick()
 		o.Reps = 1
 		o.Epochs = 3
-		return o
 	}
+	if n, err := strconv.Atoi(os.Getenv("STPT_BENCH_WORKERS")); err == nil && n > 0 {
+		o.Workers = n
+	}
+	return o
 }
 
 // --- Table 2 -----------------------------------------------------------

@@ -4,15 +4,22 @@
 // Usage:
 //
 //	stpt-bench -exp fig6 -scale quick
-//	stpt-bench -exp all -scale bench
+//	stpt-bench -exp all -scale bench -workers 8
 //	stpt-bench -exp fig6-single -dataset CER -layout uniform
+//	stpt-bench -exp all -scale quick -json BENCH_PR2.json
 //
 // Scales: quick (seconds, small grid), bench (paper grid, reduced nets),
 // paper (full Appendix C testbed; hours on CPU).
+//
+// -workers runs independent (dataset, algorithm, rep) sweep cells
+// concurrently; tables are bit-identical for every worker count. -json
+// writes a benchmark-regression record (per-experiment wall-clock ns and
+// headline metrics) for CI to diff across commits.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,8 +29,27 @@ import (
 
 	"repro/internal/datasets"
 	"repro/internal/experiments"
+	"repro/internal/parallel"
+	"repro/internal/query"
 	"repro/internal/resilience"
 )
+
+// benchRecord is one experiment's entry in the -json regression file.
+type benchRecord struct {
+	Ns      int64              `json:"ns"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the -json file layout. Maps marshal with sorted keys,
+// so the file is deterministic given deterministic metrics.
+type benchReport struct {
+	Scale       string                 `json:"scale"`
+	Workers     int                    `json:"workers"`
+	Reps        int                    `json:"reps"`
+	Seed        int64                  `json:"seed"`
+	Experiments map[string]benchRecord `json:"experiments"`
+	TotalNs     int64                  `json:"total_ns"`
+}
 
 func main() {
 	var (
@@ -35,6 +61,8 @@ func main() {
 		reps       = flag.Int("reps", 0, "override repetition count (0 keeps the scale default)")
 		timeout    = flag.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file: completed cells are skipped on restart")
+		workers    = flag.Int("workers", 0, "worker pool size for concurrent sweep cells (0 = GOMAXPROCS; 1 = the historical serial order)")
+		jsonOut    = flag.String("json", "", "write a benchmark-regression JSON record (ns + headline metrics per experiment) to this path")
 	)
 	flag.Parse()
 
@@ -53,6 +81,7 @@ func main() {
 	if *reps > 0 {
 		opts.Reps = *reps
 	}
+	opts.Workers = parallel.Workers(*workers)
 	opts.Retry = resilience.DefaultPolicy()
 	if *checkpoint != "" {
 		ck, err := resilience.OpenCheckpoint(*checkpoint)
@@ -75,12 +104,15 @@ func main() {
 
 	w := os.Stdout
 	start := time.Now()
-	run := func(name string, fn func() error) {
+	records := map[string]benchRecord{}
+	run := func(name string, fn func() (map[string]float64, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		err := fn()
+		expStart := time.Now()
+		metrics, err := fn()
 		if err == nil {
+			records[name] = benchRecord{Ns: time.Since(expStart).Nanoseconds(), Metrics: metrics}
 			return
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -92,132 +124,223 @@ func main() {
 		fatalf("%s: %v", name, err)
 	}
 
-	run("table2", func() error {
+	run("table2", func() (map[string]float64, error) {
 		rows, err := experiments.RunTable2Context(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintTable2(w, rows)
-		return nil
+		return map[string]float64{"cer_mean_kwh": rows[0].Measured.Mean}, nil
 	})
-	run("fig9", func() error {
-		experiments.PrintFig9(w, experiments.RunFig9(opts))
-		return nil
+	run("fig9", func() (map[string]float64, error) {
+		rows := experiments.RunFig9(opts)
+		experiments.PrintFig9(w, rows)
+		weekend := (rows[0].Totals[5] + rows[0].Totals[6]) / 2
+		weekday := (rows[0].Totals[0] + rows[0].Totals[1] + rows[0].Totals[2] + rows[0].Totals[3] + rows[0].Totals[4]) / 5
+		return map[string]float64{"cer_weekend_lift": weekend / weekday}, nil
 	})
-	run("fig6", func() error {
+	run("fig6", func() (map[string]float64, error) {
 		rows, err := experiments.RunFig6Context(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig6(w, rows)
-		return nil
+		var results [][]experiments.AlgResult
+		for _, r := range rows {
+			results = append(results, r.Results)
+		}
+		return stptMRE(results), nil
 	})
-	run("fig6-single", func() error {
+	run("fig6-single", func() (map[string]float64, error) {
 		spec, err := datasets.ByName(*dataset)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		lay, err := datasets.ParseLayout(*layout)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		row, err := experiments.RunFig6SingleContext(ctx, opts, spec, lay)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig6(w, []experiments.Fig6Row{row})
-		return nil
+		return stptMRE([][]experiments.AlgResult{row.Results}), nil
 	})
-	run("fig7", func() error {
+	run("fig7", func() (map[string]float64, error) {
 		rows, err := experiments.RunFig7Context(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintFig7(w, rows)
-		return nil
+		var results [][]experiments.AlgResult
+		for _, r := range rows {
+			results = append(results, r.Results)
+		}
+		return stptMRE(results), nil
 	})
-	run("fig8ab", func() error {
+	run("fig8ab", func() (map[string]float64, error) {
 		pts, err := experiments.RunFig8PatternBudgetContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintSweepPattern(w, "Figure 8(a,b): pattern error vs per-datapoint budget", pts)
-		return nil
+		return sweepPattern(pts), nil
 	})
-	run("fig8c", func() error {
+	run("fig8c", func() (map[string]float64, error) {
 		pts, err := experiments.RunFig8QuantizationContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintSweepMRE(w, "Figure 8(c): impact of quantization levels", pts)
-		return nil
+		return sweepMRE(pts), nil
 	})
-	run("fig8d", func() error {
+	run("fig8d", func() (map[string]float64, error) {
 		rows, err := experiments.RunFig8RuntimeContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintRuntimes(w, rows)
-		return nil
+		m := map[string]float64{}
+		for _, r := range rows {
+			m["seconds_"+r.Name] = r.Seconds
+		}
+		return m, nil
 	})
-	run("fig8ef", func() error {
+	run("fig8ef", func() (map[string]float64, error) {
 		pts, err := experiments.RunFig8TreeDepthContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintSweepPattern(w, "Figure 8(e,f): pattern error vs quadtree depth", pts)
-		return nil
+		return sweepPattern(pts), nil
 	})
-	run("fig8g", func() error {
+	run("fig8g", func() (map[string]float64, error) {
 		pts, err := experiments.RunFig8BudgetSplitContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintSweepMRE(w, "Figure 8(g): budget share for pattern recognition", pts)
-		return nil
+		return sweepMRE(pts), nil
 	})
-	run("fig8h", func() error {
+	run("fig8h", func() (map[string]float64, error) {
 		pts, err := experiments.RunFig8TotalBudgetContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintSweepMRE(w, "Figure 8(h): total privacy budget", pts)
-		return nil
+		return sweepMRE(pts), nil
 	})
-	run("fig8i", func() error {
+	run("fig8i", func() (map[string]float64, error) {
 		pts, err := experiments.RunFig8ModelsContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintSweepMRE(w, "Figure 8(i): distinct ML models", pts)
-		return nil
+		return sweepMRE(pts), nil
 	})
-	run("ldp", func() error {
+	run("ldp", func() (map[string]float64, error) {
 		rows, err := experiments.RunLDPExtensionContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintLDPExtension(w, rows)
-		return nil
+		var results [][]experiments.AlgResult
+		for _, r := range rows {
+			results = append(results, r.Results)
+		}
+		return stptMRE(results), nil
 	})
-	run("extended", func() error {
+	run("extended", func() (map[string]float64, error) {
 		rows, err := experiments.RunExtendedContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintExtended(w, rows)
-		return nil
+		var results [][]experiments.AlgResult
+		for _, r := range rows {
+			results = append(results, r.Results)
+		}
+		return stptMRE(results), nil
 	})
-	run("ablations", func() error {
+	run("ablations", func() (map[string]float64, error) {
 		rows, err := experiments.RunAblationsContext(ctx, opts)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.PrintAblations(w, rows)
-		return nil
+		m := map[string]float64{}
+		for _, r := range rows {
+			m["mre_random_stpt"] = r.Full.MRE[query.Random]
+			m["mre_random_"+r.Name] = r.Ablated.MRE[query.Random]
+		}
+		return m, nil
 	})
 
-	fmt.Fprintf(w, "done in %s (scale %s, exp %s)\n", time.Since(start).Round(time.Millisecond), *scale, *exp)
+	fmt.Fprintf(w, "done in %s (scale %s, exp %s, %d workers)\n",
+		time.Since(start).Round(time.Millisecond), *scale, *exp, opts.Workers)
+
+	if *jsonOut != "" {
+		report := benchReport{
+			Scale: *scale, Workers: opts.Workers, Reps: opts.Reps, Seed: opts.Seed,
+			Experiments: records, TotalNs: time.Since(start).Nanoseconds(),
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "stpt-bench: wrote regression record to %s\n", *jsonOut)
+	}
+}
+
+// stptMRE averages the STPT slot's per-class MRE over the given rows of
+// a comparison table — the headline regression metric per figure.
+func stptMRE(rows [][]experiments.AlgResult) map[string]float64 {
+	m := map[string]float64{}
+	n := 0
+	for _, results := range rows {
+		for _, r := range results {
+			if r.Name != "stpt" {
+				continue
+			}
+			for c, v := range r.MRE {
+				m["stpt_mre_"+c.String()] += v
+			}
+			n++
+		}
+	}
+	for k := range m {
+		m[k] /= float64(n)
+	}
+	return m
+}
+
+// sweepMRE averages per-class MRE across a sweep's points.
+func sweepMRE(pts []experiments.SweepPoint) map[string]float64 {
+	m := map[string]float64{}
+	for _, p := range pts {
+		for c, v := range p.MRE {
+			m["mre_"+c.String()] += v
+		}
+	}
+	for k := range m {
+		m[k] /= float64(len(pts))
+	}
+	return m
+}
+
+// sweepPattern averages MAE/RMSE across a sweep's points.
+func sweepPattern(pts []experiments.SweepPoint) map[string]float64 {
+	var mae, rmse float64
+	for _, p := range pts {
+		mae += p.MAE
+		rmse += p.RMSE
+	}
+	n := float64(len(pts))
+	return map[string]float64{"mae": mae / n, "rmse": rmse / n}
 }
 
 // resumeHint tells an interrupted user how to pick the sweep back up.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/grid"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		evalFlag = flag.Bool("eval", false, "report per-class query MRE against the truth")
 		queries  = flag.Int("queries", 300, "queries per class when evaluating")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		workers  = flag.Int("workers", 0, "worker pool size for STPT's parallel stages (0 = GOMAXPROCS; 1 = the historical serial path, bit-identical to earlier releases)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -92,6 +94,7 @@ func main() {
 		cfg.ClipFactor = clipFactor
 		cfg.Train.Epochs = *epochs
 		cfg.Seed = *seed
+		cfg.Workers = parallel.Workers(*workers)
 		if cfg.Model, err = parseModel(*model); err != nil {
 			fatalf("%v", err)
 		}
@@ -121,8 +124,9 @@ func main() {
 
 	if *evalFlag {
 		for _, c := range query.Classes() {
-			qs := query.GenerateSeeded(*seed, c, truth.Cx, truth.Cy, truth.Ct, *queries)
-			fmt.Fprintf(os.Stderr, "stpt-run: %-6s queries MRE %.2f%%\n", c, query.Evaluate(truth, release, qs, 0))
+			qs := query.GenerateSeeded(query.ClassSeed(*seed, c), c, truth.Cx, truth.Cy, truth.Ct, *queries)
+			fmt.Fprintf(os.Stderr, "stpt-run: %-6s queries MRE %.2f%%\n", c,
+				query.EvaluateWorkers(truth, release, qs, 0, parallel.Workers(*workers)))
 		}
 	}
 

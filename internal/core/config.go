@@ -86,6 +86,17 @@ type Config struct {
 	// Seed makes the whole run reproducible.
 	Seed int64
 
+	// Workers bounds the worker pool used by the run's data-parallel
+	// stages: mini-batch gradient computation, quantization, partition
+	// sums and the rollout. The zero value (and 1) runs the historical
+	// serial path bit for bit. For a fixed Workers = N every stage is
+	// deterministic; all stages except training are additionally
+	// bit-identical across worker counts (they shard exact reductions or
+	// disjoint writes), while training regroups floating-point sums.
+	// Noise draws are never parallelised, so the DP noise sequence
+	// depends only on Seed.
+	Workers int
+
 	// Retry governs recovery from retryable failures — in practice
 	// DP-noise-induced training divergence. Each retry re-runs the
 	// pipeline with a deterministically jittered seed (fresh noise and

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/grid"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/quadtree"
 	"repro/internal/timeseries"
 )
@@ -159,7 +160,7 @@ func patternStep(ctx context.Context, norm *timeseries.Dataset, cfg Config, rng 
 	if err != nil {
 		return nil, err
 	}
-	trainer := &nn.Trainer{Model: model, Opt: nn.NewRMSProp(cfg.LR), Cfg: cfg.Train, Rng: rng}
+	trainer := &nn.Trainer{Model: model, Opt: nn.NewRMSProp(cfg.LR), Cfg: cfg.Train, Rng: rng, Workers: cfg.Workers}
 	losses, err := trainer.FitContext(ctx, samples)
 	if err != nil {
 		return nil, err
@@ -169,22 +170,84 @@ func patternStep(ctx context.Context, norm *timeseries.Dataset, cfg Config, rng 
 	// Roll each cell's sanitised training path forward over the horizon,
 	// conditioned on the cell's location at the finest trained extent.
 	res.Pattern = grid.NewMatrix(norm.Cx, norm.Cy, horizon)
-	for y := 0; y < norm.Cy; y++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		for x := 0; x < norm.Cx; x++ {
-			seed := trainEst.Pillar(x, y)
-			if len(seed) < cfg.WindowSize {
-				return nil, fmt.Errorf("core: training path %d shorter than window %d", len(seed), cfg.WindowSize)
-			}
-			pred := rolloutLeveled(model, seed, cellCtx(x, y, leafFrac), horizon)
-			for t, v := range pred {
-				res.Pattern.Set(x, y, t, v)
-			}
-		}
+	if err := rolloutPattern(ctx, model, trainEst, res.Pattern, cfg, cellCtx, leafFrac, horizon); err != nil {
+		return nil, err
 	}
 	return res, nil
+}
+
+// rolloutPattern fills pattern with each cell's autoregressive rollout.
+// Rows are sharded across cfg.Workers, each shard driving its own shadow
+// clone of the trained model (rollout only reads weights, but model
+// instances own scratch buffers and are single-goroutine). Rollout draws
+// no randomness, so the result is bit-identical for every worker count.
+func rolloutPattern(ctx context.Context, model nn.Model, trainEst, pattern *grid.Matrix, cfg Config, cellCtx func(x, y int, frac float64) []float64, leafFrac float64, horizon int) error {
+	rollRow := func(m nn.Model, y int) error {
+		for x := 0; x < pattern.Cx; x++ {
+			seed := trainEst.Pillar(x, y)
+			if len(seed) < cfg.WindowSize {
+				return fmt.Errorf("core: training path %d shorter than window %d", len(seed), cfg.WindowSize)
+			}
+			pred := rolloutLeveled(m, seed, cellCtx(x, y, leafFrac), horizon)
+			for t, v := range pred {
+				pattern.Set(x, y, t, v)
+			}
+		}
+		return nil
+	}
+	clones := rolloutClones(model, cfg.Workers, pattern.Cy)
+	if clones == nil {
+		for y := 0; y < pattern.Cy; y++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := rollRow(model, y); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(clones))
+	parallel.ForEachShard(cfg.Workers, pattern.Cy, func(s int, r parallel.Range) {
+		for y := r.Lo; y < r.Hi; y++ {
+			if err := ctx.Err(); err != nil {
+				errs[s] = err
+				return
+			}
+			if err := rollRow(clones[s], y); err != nil {
+				errs[s] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rolloutClones returns one model clone per rollout shard, or nil when
+// the rollout should run serially.
+func rolloutClones(model nn.Model, workers, rows int) []nn.Model {
+	if workers <= 1 || rows < 2 {
+		return nil
+	}
+	sc, ok := model.(nn.ShadowCloner)
+	if !ok {
+		return nil
+	}
+	shards := parallel.Shards(rows, workers)
+	clones := make([]nn.Model, len(shards))
+	for i := range clones {
+		c := sc.ShadowClone()
+		if c == nil {
+			return nil
+		}
+		clones[i] = c
+	}
+	return clones
 }
 
 // windowLevel returns the normalisation level of a window: its mean plus a

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dp"
 	"repro/internal/grid"
+	"repro/internal/parallel"
 )
 
 // Partition is one k-quantization bucket: a (possibly scattered) set of
@@ -49,6 +50,15 @@ func Quantize(pattern *grid.Matrix, k int) []*Partition {
 
 // QuantizeMode is Quantize with an explicit bucket geometry.
 func QuantizeMode(pattern *grid.Matrix, k int, mode QuantMode) []*Partition {
+	return QuantizeModeWorkers(pattern, k, mode, 1)
+}
+
+// QuantizeModeWorkers is QuantizeMode with the cell scan sharded across
+// workers. Shards cover contiguous stretches of the serial (y, x, t)
+// enumeration and per-bucket cell lists are concatenated in shard order,
+// so the partitioning — cell order included — is bit-identical to the
+// serial scan for every worker count.
+func QuantizeModeWorkers(pattern *grid.Matrix, k int, mode QuantMode, workers int) []*Partition {
 	if k <= 0 {
 		panic(fmt.Sprintf("core: quantization level %d must be positive", k))
 	}
@@ -56,33 +66,39 @@ func QuantizeMode(pattern *grid.Matrix, k int, mode QuantMode) []*Partition {
 	if mode == QuantLog {
 		key = func(v float64) float64 { return math.Log1p(math.Max(0, v)) }
 	}
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range pattern.Data() {
-		kv := key(v)
-		if kv < lo {
-			lo = kv
-		}
-		if kv > hi {
-			hi = kv
-		}
-	}
+	lo, hi := quantBounds(pattern.Data(), key, workers)
 	span := hi - lo
+	n := pattern.Cy * pattern.Cx * pattern.Ct
+	// assign resolves the serial scan order: index o walks y, then x, then t.
+	assign := func(o int) (cellRef, int) {
+		y := o / (pattern.Cx * pattern.Ct)
+		rem := o % (pattern.Cx * pattern.Ct)
+		x := rem / pattern.Ct
+		t := rem % pattern.Ct
+		b := 0
+		if span > 0 {
+			b = int(float64(k) * (key(pattern.At(x, y, t)) - lo) / span)
+			if b == k { // the maximum lands in the last bucket
+				b = k - 1
+			}
+		}
+		return cellRef{x, y, t}, b
+	}
+	shards := parallel.Shards(n, workers)
+	perShard := make([][][]cellRef, len(shards))
+	parallel.ForEachShard(workers, n, func(s int, r parallel.Range) {
+		buckets := make([][]cellRef, k)
+		for o := r.Lo; o < r.Hi; o++ {
+			c, b := assign(o)
+			buckets[b] = append(buckets[b], c)
+		}
+		perShard[s] = buckets
+	})
 	parts := make([]*Partition, k)
 	for i := range parts {
 		parts[i] = &Partition{Level: i}
-	}
-	for y := 0; y < pattern.Cy; y++ {
-		for x := 0; x < pattern.Cx; x++ {
-			for t := 0; t < pattern.Ct; t++ {
-				b := 0
-				if span > 0 {
-					b = int(float64(k) * (key(pattern.At(x, y, t)) - lo) / span)
-					if b == k { // the maximum lands in the last bucket
-						b = k - 1
-					}
-				}
-				parts[b].Cells = append(parts[b].Cells, cellRef{x, y, t})
-			}
+		for s := range shards {
+			parts[i].Cells = append(parts[i].Cells, perShard[s][i]...)
 		}
 	}
 	var out []*Partition
@@ -90,10 +106,43 @@ func QuantizeMode(pattern *grid.Matrix, k int, mode QuantMode) []*Partition {
 		if len(p.Cells) == 0 {
 			continue
 		}
-		p.PillarMax = pillarMax(p, pattern.Cx)
 		out = append(out, p)
 	}
+	parallel.ForEach(workers, len(out), func(i int) {
+		out[i].PillarMax = pillarMax(out[i], pattern.Cx)
+	})
 	return out
+}
+
+// quantBounds returns min/max of key(v) over data; min/max reduction is
+// exact, so the sharded scan matches the serial one bit for bit.
+func quantBounds(data []float64, key func(float64) float64, workers int) (lo, hi float64) {
+	shards := parallel.Shards(len(data), workers)
+	los := make([]float64, len(shards))
+	his := make([]float64, len(shards))
+	parallel.ForEachShard(workers, len(data), func(s int, r parallel.Range) {
+		l, h := math.Inf(1), math.Inf(-1)
+		for _, v := range data[r.Lo:r.Hi] {
+			kv := key(v)
+			if kv < l {
+				l = kv
+			}
+			if kv > h {
+				h = kv
+			}
+		}
+		los[s], his[s] = l, h
+	})
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for s := range shards {
+		if los[s] < lo {
+			lo = los[s]
+		}
+		if his[s] > hi {
+			hi = his[s]
+		}
+	}
+	return lo, hi
 }
 
 // pillarMax computes Theorem 7's sensitivity factor: the maximum number of
@@ -133,21 +182,36 @@ func sanitizeStep(cons *grid.Matrix, parts []*Partition, cfg Config, cellSens fl
 	}
 	out := grid.NewMatrix(cons.Cx, cons.Cy, cons.Ct)
 	scope := acct.Child("partitions", dp.Sequential)
-	for i, p := range parts {
+	// Per-partition true sums are data-parallel: each index writes its own
+	// slot, and each partition's cells are summed in their stored order, so
+	// the sums match the serial scan bit for bit.
+	sums := make([]float64, len(parts))
+	parallel.ForEach(cfg.Workers, len(parts), func(i int) {
 		var sum float64
-		for _, c := range p.Cells {
+		for _, c := range parts[i].Cells {
 			sum += cons.At(c.x, c.y, c.t)
 		}
-		noisy := sum + lap.Sample(dp.Scale(sens[i], budgets[i]))
+		sums[i] = sum
+	})
+	// Noise is drawn serially in partition order: the Laplace stream is one
+	// rng, and its draw order must depend only on the seed.
+	shares := make([]float64, len(parts))
+	for i, p := range parts {
+		noisy := sums[i] + lap.Sample(dp.Scale(sens[i], budgets[i]))
 		scope.Spend(budgets[i])
 		share := noisy / float64(len(p.Cells))
 		if share < 0 {
 			share = 0
 		}
-		for _, c := range p.Cells {
-			out.Set(c.x, c.y, c.t, share)
-		}
+		shares[i] = share
 	}
+	// Partitions tile the matrix disjointly, so spreading shares is
+	// write-disjoint across partitions.
+	parallel.ForEach(cfg.Workers, len(parts), func(i int) {
+		for _, c := range parts[i].Cells {
+			out.Set(c.x, c.y, c.t, shares[i])
+		}
+	})
 	return out
 }
 

@@ -116,7 +116,7 @@ func runOnce(ctx context.Context, d *timeseries.Dataset, cfg Config) (*Result, e
 		work = d.Clone()
 		work.Clip(cfg.ClipFactor)
 	}
-	norm := timeseries.FitNormalizer(work)
+	norm := timeseries.FitNormalizerWorkers(work, cfg.Workers)
 	normData := norm.Apply(work)
 
 	// Phase 1: pattern recognition (ε_pattern).
@@ -144,7 +144,7 @@ func runOnce(ctx context.Context, d *timeseries.Dataset, cfg Config) (*Result, e
 	if cfg.NoPartitions {
 		sanitized = sanitizePerCell(truth, cfg, cellSens, lap, sanScope)
 	} else {
-		partition := QuantizeMode(pat.Pattern, cfg.QuantLevels, cfg.Quant)
+		partition := QuantizeModeWorkers(pat.Pattern, cfg.QuantLevels, cfg.Quant, cfg.Workers)
 		parts = len(partition)
 		sanitized = sanitizeStep(truth, partition, cfg, cellSens, lap, sanScope)
 	}

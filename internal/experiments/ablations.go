@@ -25,18 +25,15 @@ func RunAblations(o Options) ([]AblationResult, error) {
 	return RunAblationsContext(context.Background(), o)
 }
 
-// RunAblationsContext is the cancellable, checkpointed variant.
+// RunAblationsContext is the cancellable, checkpointed variant; the full
+// configuration and every ablation run their (variant, rep) cells on one
+// worker pool.
 func RunAblationsContext(ctx context.Context, o Options) ([]AblationResult, error) {
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	truth := in.Truth()
 	qs := o.drawQueries(truth)
-
-	full, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, "ablations/stpt")
-	if err != nil {
-		return nil, err
-	}
 
 	ablations := []struct {
 		name string
@@ -47,14 +44,19 @@ func RunAblationsContext(ctx context.Context, o Options) ([]AblationResult, erro
 		{"no-partitions", func(c *core.Config) { c.NoPartitions = true }},
 		{"persistence", func(c *core.Config) { c.Model = core.ModelPersistence }},
 	}
-	var out []AblationResult
+	algs := []algCells{o.stptCells(d, spec, truth, qs, nil, "ablations/stpt")}
 	for _, ab := range ablations {
-		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, ab.mut, "ablations/"+ab.name)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", ab.name, err)
-		}
-		r.Name = ab.name
-		out = append(out, AblationResult{Name: ab.name, Full: full, Ablated: r})
+		c := o.stptCells(d, spec, truth, qs, ab.mut, "ablations/"+ab.name)
+		c.name = ab.name
+		algs = append(algs, c)
+	}
+	results, err := o.runCells(ctx, algs)
+	if err != nil {
+		return nil, fmt.Errorf("ablations: %w", err)
+	}
+	out := make([]AblationResult, len(ablations))
+	for i, ab := range ablations {
+		out[i] = AblationResult{Name: ab.name, Full: results[0], Ablated: results[i+1]}
 	}
 	return out, nil
 }

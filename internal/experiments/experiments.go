@@ -18,6 +18,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/grid"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/resilience"
 	"repro/internal/timeseries"
@@ -43,12 +44,24 @@ type Options struct {
 	// (CER's 5000 households are expensive at small scales).
 	Households int
 
+	// Workers bounds the worker pool the sweeps run on: independent
+	// (dataset, algorithm, rep) cells execute concurrently, each with its
+	// own seed derived from the cell's stable identity-independent rep
+	// index. Parallelism lives at the cell level only — every cell runs
+	// the serial core pipeline — so each cell's value, and therefore every
+	// averaged table, is bit-identical for every worker count. The zero
+	// value (and 1) runs cells in the historical nested-loop order on the
+	// calling goroutine, which is what the crash/resume checkpoint
+	// semantics pin down.
+	Workers int
+
 	// Checkpoint, when non-nil, records every completed (dataset,
 	// algorithm, rep) cell so a killed sweep resumes at the last finished
 	// cell instead of recomputing hours of work. Cells are keyed by the
 	// experiment's stable identity (e.g. "fig6/CER/uniform/stpt/rep3"),
 	// never by wall-clock, so a resumed run reproduces the uninterrupted
-	// result bit for bit. nil disables checkpointing.
+	// result bit for bit — at any worker count, since cell values don't
+	// depend on Workers. nil disables checkpointing.
 	Checkpoint *resilience.Checkpoint
 	// Retry governs baseline-release retries on retryable failures; the
 	// zero value keeps the historical fail-fast behaviour. (STPT runs
@@ -206,75 +219,100 @@ func (o Options) recordRep(ctx context.Context, key string, m map[query.Class]fl
 	return o.Checkpoint.Record(key, encodeMRE(m))
 }
 
-// runSTPT runs STPT o.Reps times (varying the noise seed) and averages the
-// per-class MRE. It returns the last computed run's result for
-// diagnostics (nil when every rep came from the checkpoint). ckKey is the
-// stable checkpoint prefix for this (experiment, dataset, algorithm)
-// cell; "" disables checkpointing.
-func (o Options) runSTPT(ctx context.Context, d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query, mutate func(*core.Config), ckKey string) (AlgResult, *core.Result, error) {
-	cfg := o.STPTConfig(spec)
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	acc := map[query.Class]float64{}
-	var last *core.Result
-	computed := 0
-	start := time.Now()
-	for rep := 0; rep < o.Reps; rep++ {
-		if err := ctx.Err(); err != nil {
-			return AlgResult{}, nil, err
-		}
-		key := repKey(ckKey, rep)
+// algCells is one result slot of a sweep: an algorithm's display name,
+// the stable checkpoint prefix its rep cells are keyed under (repKey;
+// "" disables checkpointing) and the per-rep compute function. run must
+// be safe to call from multiple goroutines: each rep derives its own
+// seed and owns its own state.
+type algCells struct {
+	name   string
+	prefix string
+	run    func(ctx context.Context, rep int) (map[query.Class]float64, error)
+}
+
+// runCells executes every (algorithm, rep) cell on the worker pool and
+// averages each algorithm's reps in rep order. Cells are independent:
+// each looks up and records its own checkpoint entry and writes a private
+// result slot. At Workers <= 1 cells run in the historical nested-loop
+// order (algorithm-major, rep-minor) on the calling goroutine, stopping
+// at the first error — the crash/resume semantics the checkpoint tests
+// pin down. At Workers = N every cell still runs the same serial
+// pipeline, so the averaged tables are bit-identical for every worker
+// count; a multi-failure sweep reports the lowest-index cell's error.
+func (o Options) runCells(ctx context.Context, algs []algCells) ([]AlgResult, error) {
+	reps := o.Reps
+	n := len(algs) * reps
+	vals := make([]map[query.Class]float64, n)
+	secs := make([]float64, n)
+	fresh := make([]bool, n)
+	err := parallel.Do(ctx, o.Workers, n, func(i int) error {
+		a, rep := i/reps, i%reps
+		key := repKey(algs[a].prefix, rep)
 		if cached := o.lookupRep(key); cached != nil {
-			for c, v := range cached {
+			vals[i] = cached
+			return nil
+		}
+		start := time.Now()
+		ev, err := algs[a].run(ctx, rep)
+		if err != nil {
+			return fmt.Errorf("%s/rep%d: %w", algs[a].name, rep, err)
+		}
+		secs[i] = time.Since(start).Seconds()
+		fresh[i] = true
+		vals[i] = ev
+		return o.recordRep(ctx, key, ev)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AlgResult, len(algs))
+	for a := range algs {
+		acc := map[query.Class]float64{}
+		computed := 0
+		var total float64
+		for rep := 0; rep < reps; rep++ {
+			i := a*reps + rep
+			for c, v := range vals[i] {
 				acc[c] += v
 			}
-			continue
+			if fresh[i] {
+				computed++
+				total += secs[i]
+			}
+		}
+		for c := range acc {
+			acc[c] /= float64(reps)
+		}
+		s := 0.0
+		if computed > 0 {
+			s = total / float64(computed)
+		}
+		out[a] = AlgResult{Name: algs[a].name, MRE: acc, Seconds: s}
+	}
+	return out, nil
+}
+
+// stptCells is the STPT slot of a sweep row: each rep runs the full
+// pipeline on a private config copy with the rep's derived seed.
+func (o Options) stptCells(d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query, mutate func(*core.Config), prefix string) algCells {
+	return algCells{name: "stpt", prefix: prefix, run: func(ctx context.Context, rep int) (map[query.Class]float64, error) {
+		cfg := o.STPTConfig(spec)
+		if mutate != nil {
+			mutate(&cfg)
 		}
 		cfg.Seed = o.Seed + int64(rep)
 		res, err := core.RunContext(ctx, d, cfg)
 		if err != nil {
-			return AlgResult{}, nil, err
+			return nil, err
 		}
-		last = res
-		computed++
-		ev := evalRelease(truth, res.Sanitized, qs)
-		for c, v := range ev {
-			acc[c] += v
-		}
-		if err := o.recordRep(ctx, key, ev); err != nil {
-			return AlgResult{}, nil, err
-		}
-	}
-	for c := range acc {
-		acc[c] /= float64(o.Reps)
-	}
-	secs := 0.0
-	if computed > 0 {
-		secs = time.Since(start).Seconds() / float64(computed)
-	}
-	return AlgResult{Name: "stpt", MRE: acc, Seconds: secs}, last, nil
+		return evalRelease(truth, res.Sanitized, qs), nil
+	}}
 }
 
-// runBaseline averages a baseline's per-class MRE over o.Reps seeds, with
-// per-rep checkpointing and o.Retry-governed retries of retryable release
-// failures (each retry draws a jittered seed).
-func (o Options) runBaseline(ctx context.Context, alg baselines.Algorithm, d *timeseries.Dataset, spec datasets.Spec, truth *grid.Matrix, qs map[query.Class][]grid.Query, ckKey string) (AlgResult, error) {
-	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
-	acc := map[query.Class]float64{}
-	computed := 0
-	start := time.Now()
-	for rep := 0; rep < o.Reps; rep++ {
-		if err := ctx.Err(); err != nil {
-			return AlgResult{}, err
-		}
-		key := repKey(ckKey, rep)
-		if cached := o.lookupRep(key); cached != nil {
-			for c, v := range cached {
-				acc[c] += v
-			}
-			continue
-		}
+// baselineCells is one baseline's slot, with o.Retry-governed retries of
+// retryable release failures (each retry draws a jittered seed).
+func (o Options) baselineCells(alg baselines.Algorithm, in baselines.Input, truth *grid.Matrix, qs map[query.Class][]grid.Query, prefix string) algCells {
+	return algCells{name: alg.Name(), prefix: prefix, run: func(ctx context.Context, rep int) (map[query.Class]float64, error) {
 		var rel *grid.Matrix
 		err := resilience.Retry(ctx, o.Retry, func(_ int, seedOffset int64) error {
 			var rerr error
@@ -282,25 +320,10 @@ func (o Options) runBaseline(ctx context.Context, alg baselines.Algorithm, d *ti
 			return rerr
 		})
 		if err != nil {
-			return AlgResult{}, err
+			return nil, err
 		}
-		computed++
-		ev := evalRelease(truth, rel, qs)
-		for c, v := range ev {
-			acc[c] += v
-		}
-		if err := o.recordRep(ctx, key, ev); err != nil {
-			return AlgResult{}, err
-		}
-	}
-	for c := range acc {
-		acc[c] /= float64(o.Reps)
-	}
-	secs := 0.0
-	if computed > 0 {
-		secs = time.Since(start).Seconds() / float64(computed)
-	}
-	return AlgResult{Name: alg.Name(), MRE: acc, Seconds: secs}, nil
+		return evalRelease(truth, rel, qs), nil
+	}}
 }
 
 // repKey appends the rep index to a checkpoint prefix ("" stays "").

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/datasets"
+	"repro/internal/parallel"
 )
 
 // ExtendedRow compares STPT against the related-work algorithms beyond
@@ -23,31 +24,43 @@ func RunExtended(o Options) ([]ExtendedRow, error) {
 	return RunExtendedContext(context.Background(), o)
 }
 
-// RunExtendedContext is the cancellable, checkpointed variant.
+// RunExtendedContext is the cancellable, checkpointed variant; every
+// (layout, algorithm, rep) cell runs on one worker pool.
 func RunExtendedContext(ctx context.Context, o Options) ([]ExtendedRow, error) {
-	var rows []ExtendedRow
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	spec := datasets.CER
-	for _, layout := range []datasets.Layout{datasets.Uniform, datasets.Normal} {
+	layouts := []datasets.Layout{datasets.Uniform, datasets.Normal}
+	perRow := 1 + len(baselines.Extended())
+	rowAlgs := make([][]algCells, len(layouts))
+	parallel.ForEach(o.Workers, len(layouts), func(i int) {
+		layout := layouts[i]
 		d := o.generate(spec, layout)
 		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 		truth := in.Truth()
 		qs := o.drawQueries(truth)
-		row := ExtendedRow{Dataset: spec.Name, Layout: layout.String()}
 		prefix := fmt.Sprintf("extended/%s/%s", spec.Name, layout)
-
-		stptRes, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, prefix+"/stpt")
-		if err != nil {
-			return nil, fmt.Errorf("extended %s: %w", layout, err)
-		}
-		row.Results = append(row.Results, stptRes)
+		algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
 		for _, alg := range baselines.Extended() {
-			r, err := o.runBaseline(ctx, alg, d, spec, truth, qs, prefix+"/"+alg.Name())
-			if err != nil {
-				return nil, fmt.Errorf("extended %s/%s: %w", layout, alg.Name(), err)
-			}
-			row.Results = append(row.Results, r)
+			algs = append(algs, o.baselineCells(alg, in, truth, qs, prefix+"/"+alg.Name()))
 		}
-		rows = append(rows, row)
+		rowAlgs[i] = algs
+	})
+	var all []algCells
+	for _, algs := range rowAlgs {
+		all = append(all, algs...)
+	}
+	results, err := o.runCells(ctx, all)
+	if err != nil {
+		return nil, fmt.Errorf("extended: %w", err)
+	}
+	rows := make([]ExtendedRow, len(layouts))
+	for i, layout := range layouts {
+		rows[i] = ExtendedRow{
+			Dataset: spec.Name, Layout: layout.String(),
+			Results: results[i*perRow : (i+1)*perRow],
+		}
 	}
 	return rows, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/datasets"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -49,16 +50,43 @@ func RunFig6(o Options) ([]Fig6Row, error) {
 
 // RunFig6Context is RunFig6 with cooperative cancellation and, when
 // o.Checkpoint is set, resume at the last completed (dataset, algorithm,
-// rep) cell.
+// rep) cell. At o.Workers > 1 the whole figure — every (dataset, layout,
+// algorithm, rep) cell across all twelve panels — is flattened onto one
+// worker pool; row inputs (dataset, truth, shared queries) are
+// deterministic in (spec, layout, seed), so they are pre-generated on the
+// pool too.
 func RunFig6Context(ctx context.Context, o Options) ([]Fig6Row, error) {
-	var rows []Fig6Row
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type rowKey struct {
+		spec   datasets.Spec
+		layout datasets.Layout
+	}
+	var keys []rowKey
 	for _, spec := range datasets.All() {
 		for _, layout := range []datasets.Layout{datasets.Uniform, datasets.Normal} {
-			row, err := runFig6Row(ctx, o, spec, layout)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%s: %w", spec.Name, layout, err)
-			}
-			rows = append(rows, row)
+			keys = append(keys, rowKey{spec, layout})
+		}
+	}
+	perRow := 1 + len(baselines.Registry())
+	rowAlgs := make([][]algCells, len(keys))
+	parallel.ForEach(o.Workers, len(keys), func(i int) {
+		rowAlgs[i] = o.fig6RowCells(keys[i].spec, keys[i].layout)
+	})
+	var all []algCells
+	for _, algs := range rowAlgs {
+		all = append(all, algs...)
+	}
+	results, err := o.runCells(ctx, all)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	rows := make([]Fig6Row, len(keys))
+	for i, k := range keys {
+		rows[i] = Fig6Row{
+			Dataset: k.spec.Name, Layout: k.layout.String(),
+			Results: results[i*perRow : (i+1)*perRow],
 		}
 	}
 	return rows, nil
@@ -76,26 +104,28 @@ func RunFig6SingleContext(ctx context.Context, o Options, spec datasets.Spec, la
 	return runFig6Row(ctx, o, spec, layout)
 }
 
-func runFig6Row(ctx context.Context, o Options, spec datasets.Spec, layout datasets.Layout) (Fig6Row, error) {
+// fig6RowCells builds one panel row's cell list: the STPT slot followed by
+// every registry baseline, sharing the row's dataset, truth and queries.
+func (o Options) fig6RowCells(spec datasets.Spec, layout datasets.Layout) []algCells {
 	d := o.generate(spec, layout)
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	truth := in.Truth()
 	qs := o.drawQueries(truth)
-	row := Fig6Row{Dataset: spec.Name, Layout: layout.String()}
 	prefix := fmt.Sprintf("fig6/%s/%s", spec.Name, layout)
+	algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
+	for _, alg := range baselines.Registry() {
+		algs = append(algs, o.baselineCells(alg, in, truth, qs, prefix+"/"+alg.Name()))
+	}
+	return algs
+}
 
-	stptRes, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, prefix+"/stpt")
+func runFig6Row(ctx context.Context, o Options, spec datasets.Spec, layout datasets.Layout) (Fig6Row, error) {
+	row := Fig6Row{Dataset: spec.Name, Layout: layout.String()}
+	results, err := o.runCells(ctx, o.fig6RowCells(spec, layout))
 	if err != nil {
 		return row, err
 	}
-	row.Results = append(row.Results, stptRes)
-	for _, alg := range baselines.Registry() {
-		r, err := o.runBaseline(ctx, alg, d, spec, truth, qs, prefix+"/"+alg.Name())
-		if err != nil {
-			return row, fmt.Errorf("%s: %w", alg.Name(), err)
-		}
-		row.Results = append(row.Results, r)
-	}
+	row.Results = results
 	return row, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/datasets"
+	"repro/internal/parallel"
 )
 
 // Fig7Result compares WPO against STPT (and Identity for context) under
@@ -22,34 +23,47 @@ func RunFig7(o Options) ([]Fig7Result, error) {
 }
 
 // RunFig7Context is RunFig7 with cooperative cancellation and per-cell
-// checkpoint resume.
+// checkpoint resume. Every (dataset, algorithm, rep) cell across the four
+// panels runs on one worker pool.
 func RunFig7Context(ctx context.Context, o Options) ([]Fig7Result, error) {
-	var out []Fig7Result
-	for _, spec := range datasets.All() {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var comparators []baselines.Algorithm
+	for _, name := range []string{"identity", "wpo"} {
+		alg, err := baselines.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		comparators = append(comparators, alg)
+	}
+	specs := datasets.All()
+	perRow := 1 + len(comparators)
+	rowAlgs := make([][]algCells, len(specs))
+	parallel.ForEach(o.Workers, len(specs), func(i int) {
+		spec := specs[i]
 		d := o.generate(spec, datasets.LosAngeles)
 		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 		truth := in.Truth()
 		qs := o.drawQueries(truth)
-		res := Fig7Result{Dataset: spec.Name}
 		prefix := "fig7/" + spec.Name
-
-		stptRes, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, prefix+"/stpt")
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", spec.Name, err)
+		algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
+		for _, alg := range comparators {
+			algs = append(algs, o.baselineCells(alg, in, truth, qs, prefix+"/"+alg.Name()))
 		}
-		res.Results = append(res.Results, stptRes)
-		for _, name := range []string{"identity", "wpo"} {
-			alg, err := baselines.Lookup(name)
-			if err != nil {
-				return nil, err
-			}
-			r, err := o.runBaseline(ctx, alg, d, spec, truth, qs, prefix+"/"+name)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s/%s: %w", spec.Name, name, err)
-			}
-			res.Results = append(res.Results, r)
-		}
-		out = append(out, res)
+		rowAlgs[i] = algs
+	})
+	var all []algCells
+	for _, algs := range rowAlgs {
+		all = append(all, algs...)
+	}
+	results, err := o.runCells(ctx, all)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	out := make([]Fig7Result, len(specs))
+	for i, spec := range specs {
+		out[i] = Fig7Result{Dataset: spec.Name, Results: results[i*perRow : (i+1)*perRow]}
 	}
 	return out, nil
 }

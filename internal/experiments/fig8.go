@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -40,36 +42,43 @@ func RunFig8PatternBudget(o Options) ([]SweepPoint, error) {
 }
 
 // RunFig8PatternBudgetContext is the cancellable, checkpointed variant.
+// All (budget point, rep) cells run on one worker pool; per-point rep
+// averages are reduced in rep order, so the sweep is bit-identical for
+// every worker count.
 func RunFig8PatternBudgetContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	perPoint := []float64{0.01, 0.05, 0.1, 0.2, 0.5}
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
-	var out []SweepPoint
-	for _, pp := range perPoint {
+	cells := make([]patternCell, len(perPoint)*o.Reps)
+	err := parallel.Do(ctx, o.Workers, len(cells), func(i int) error {
+		pi, rep := i/o.Reps, i%o.Reps
+		pp := perPoint[pi]
+		key := repKey(fmt.Sprintf("fig8ab/pp%g", pp), rep)
+		var cell patternCell
+		if o.Checkpoint.Lookup(key, &cell) {
+			cells[i] = cell
+			return nil
+		}
+		cfg := o.STPTConfig(spec)
+		cfg.EpsPattern = pp * float64(o.TTrain)
+		cfg.Seed = o.Seed + int64(rep)
+		res, err := core.RunContext(ctx, d, cfg)
+		if err != nil {
+			return fmt.Errorf("fig8ab ε/point=%v: %w", pp, err)
+		}
+		cells[i] = patternCell{MAE: res.PatternMAE, RMSE: res.PatternRMSE}
+		return o.Checkpoint.Record(key, cells[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(perPoint))
+	for pi, pp := range perPoint {
 		var mae, rmse float64
 		for rep := 0; rep < o.Reps; rep++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			key := repKey(fmt.Sprintf("fig8ab/pp%g", pp), rep)
-			var cell patternCell
-			if o.Checkpoint.Lookup(key, &cell) {
-				mae += cell.MAE
-				rmse += cell.RMSE
-				continue
-			}
-			cfg := o.STPTConfig(spec)
-			cfg.EpsPattern = pp * float64(o.TTrain)
-			cfg.Seed = o.Seed + int64(rep)
-			res, err := core.RunContext(ctx, d, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig8ab ε/point=%v: %w", pp, err)
-			}
-			mae += res.PatternMAE
-			rmse += res.PatternRMSE
-			if err := o.Checkpoint.Record(key, patternCell{MAE: res.PatternMAE, RMSE: res.PatternRMSE}); err != nil {
-				return nil, err
-			}
+			c := cells[pi*o.Reps+rep]
+			mae += c.MAE
+			rmse += c.RMSE
 		}
 		out = append(out, SweepPoint{
 			X: pp, Label: fmt.Sprintf("%.2f", pp),
@@ -85,7 +94,8 @@ func RunFig8Quantization(o Options) ([]SweepPoint, error) {
 	return RunFig8QuantizationContext(context.Background(), o)
 }
 
-// RunFig8QuantizationContext is the cancellable, checkpointed variant.
+// RunFig8QuantizationContext is the cancellable, checkpointed variant;
+// every (k, rep) cell runs on one worker pool.
 func RunFig8QuantizationContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	levels := []int{2, 4, 8, 16, 32, 64}
 	spec := fig8Spec()
@@ -93,14 +103,18 @@ func RunFig8QuantizationContext(ctx context.Context, o Options) ([]SweepPoint, e
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	truth := in.Truth()
 	qs := o.drawQueries(truth)
-	var out []SweepPoint
-	for _, k := range levels {
-		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, func(c *core.Config) { c.QuantLevels = k },
+	algs := make([]algCells, len(levels))
+	for i, k := range levels {
+		algs[i] = o.stptCells(d, spec, truth, qs, func(c *core.Config) { c.QuantLevels = k },
 			fmt.Sprintf("fig8c/k%d", k))
-		if err != nil {
-			return nil, fmt.Errorf("fig8c k=%d: %w", k, err)
-		}
-		out = append(out, SweepPoint{X: float64(k), Label: fmt.Sprintf("k=%d", k), MRE: r.MRE})
+	}
+	results, err := o.runCells(ctx, algs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8c: %w", err)
+	}
+	out := make([]SweepPoint, len(levels))
+	for i, k := range levels {
+		out[i] = SweepPoint{X: float64(k), Label: fmt.Sprintf("k=%d", k), MRE: results[i].MRE}
 	}
 	return out, nil
 }
@@ -119,7 +133,9 @@ func RunFig8Runtime(o Options) ([]RuntimeResult, error) {
 
 // RunFig8RuntimeContext is the cancellable variant. Runtime measurements
 // are deliberately not checkpointed: a resumed timing is not the quantity
-// the panel plots.
+// the panel plots. The panel also deliberately ignores o.Workers —
+// algorithms are timed one at a time on the serial pipeline so the
+// wall-clock comparison isn't distorted by co-scheduling.
 func RunFig8RuntimeContext(ctx context.Context, o Options) ([]RuntimeResult, error) {
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
@@ -149,7 +165,15 @@ func RunFig8TreeDepth(o Options) ([]SweepPoint, error) {
 	return RunFig8TreeDepthContext(context.Background(), o)
 }
 
+// errDepthInfeasible marks a depth whose segments undercut the window
+// size — structurally impossible at the current scale, skipped rather
+// than failed.
+var errDepthInfeasible = errors.New("depth infeasible at this scale")
+
 // RunFig8TreeDepthContext is the cancellable, checkpointed variant.
+// Depths stay sequential — whether a depth is feasible gates whether its
+// point appears at all — but the reps within each depth run on the
+// worker pool, reduced in rep order.
 func RunFig8TreeDepthContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	spec := fig8Spec()
 	d := o.generate(spec, datasets.Uniform)
@@ -162,18 +186,13 @@ func RunFig8TreeDepthContext(ctx context.Context, o Options) ([]SweepPoint, erro
 		if o.TTrain < depth+1 {
 			break
 		}
-		var mae, rmse float64
-		ok := true
-		for rep := 0; rep < o.Reps; rep++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+		cells := make([]patternCell, o.Reps)
+		err := parallel.Do(ctx, o.Workers, o.Reps, func(rep int) error {
 			key := repKey(fmt.Sprintf("fig8ef/depth%d", depth), rep)
 			var cell patternCell
 			if o.Checkpoint.Lookup(key, &cell) {
-				mae += cell.MAE
-				rmse += cell.RMSE
-				continue
+				cells[rep] = cell
+				return nil
 			}
 			cfg := o.STPTConfig(spec)
 			cfg.Depth = depth
@@ -181,21 +200,23 @@ func RunFig8TreeDepthContext(ctx context.Context, o Options) ([]SweepPoint, erro
 			res, err := core.RunContext(ctx, d, cfg)
 			if err != nil {
 				if ctx.Err() != nil {
-					return nil, err
+					return err
 				}
-				// Depths whose segments undercut the window size are
-				// structurally impossible at this scale; skip them.
-				ok = false
-				break
+				return fmt.Errorf("%w: %v", errDepthInfeasible, err)
 			}
-			mae += res.PatternMAE
-			rmse += res.PatternRMSE
-			if err := o.Checkpoint.Record(key, patternCell{MAE: res.PatternMAE, RMSE: res.PatternRMSE}); err != nil {
-				return nil, err
+			cells[rep] = patternCell{MAE: res.PatternMAE, RMSE: res.PatternRMSE}
+			return o.Checkpoint.Record(key, cells[rep])
+		})
+		if err != nil {
+			if errors.Is(err, errDepthInfeasible) && ctx.Err() == nil {
+				continue
 			}
+			return nil, err
 		}
-		if !ok {
-			continue
+		var mae, rmse float64
+		for _, c := range cells {
+			mae += c.MAE
+			rmse += c.RMSE
 		}
 		out = append(out, SweepPoint{
 			X: float64(depth), Label: fmt.Sprintf("depth=%d", depth),
@@ -214,7 +235,8 @@ func RunFig8BudgetSplit(o Options) ([]SweepPoint, error) {
 	return RunFig8BudgetSplitContext(context.Background(), o)
 }
 
-// RunFig8BudgetSplitContext is the cancellable, checkpointed variant.
+// RunFig8BudgetSplitContext is the cancellable, checkpointed variant;
+// every (fraction, rep) cell runs on one worker pool.
 func RunFig8BudgetSplitContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	fractions := []float64{0.1, 0.2, 0.33, 0.5, 0.67, 0.8, 0.9}
 	total := o.EpsPattern + o.EpsSanitize
@@ -223,16 +245,20 @@ func RunFig8BudgetSplitContext(ctx context.Context, o Options) ([]SweepPoint, er
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	truth := in.Truth()
 	qs := o.drawQueries(truth)
-	var out []SweepPoint
-	for _, f := range fractions {
-		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, func(c *core.Config) {
+	algs := make([]algCells, len(fractions))
+	for i, f := range fractions {
+		algs[i] = o.stptCells(d, spec, truth, qs, func(c *core.Config) {
 			c.EpsPattern = f * total
 			c.EpsSanitize = (1 - f) * total
 		}, fmt.Sprintf("fig8g/f%g", f))
-		if err != nil {
-			return nil, fmt.Errorf("fig8g f=%v: %w", f, err)
-		}
-		out = append(out, SweepPoint{X: f, Label: fmt.Sprintf("%.0f%%", 100*f), MRE: r.MRE})
+	}
+	results, err := o.runCells(ctx, algs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8g: %w", err)
+	}
+	out := make([]SweepPoint, len(fractions))
+	for i, f := range fractions {
+		out[i] = SweepPoint{X: f, Label: fmt.Sprintf("%.0f%%", 100*f), MRE: results[i].MRE}
 	}
 	return out, nil
 }
@@ -243,7 +269,8 @@ func RunFig8TotalBudget(o Options) ([]SweepPoint, error) {
 	return RunFig8TotalBudgetContext(context.Background(), o)
 }
 
-// RunFig8TotalBudgetContext is the cancellable, checkpointed variant.
+// RunFig8TotalBudgetContext is the cancellable, checkpointed variant;
+// every (ε_tot, rep) cell runs on one worker pool.
 func RunFig8TotalBudgetContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	totals := []float64{5, 10, 20, 30, 50}
 	spec := fig8Spec()
@@ -251,16 +278,20 @@ func RunFig8TotalBudgetContext(ctx context.Context, o Options) ([]SweepPoint, er
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	truth := in.Truth()
 	qs := o.drawQueries(truth)
-	var out []SweepPoint
-	for _, tot := range totals {
-		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, func(c *core.Config) {
+	algs := make([]algCells, len(totals))
+	for i, tot := range totals {
+		algs[i] = o.stptCells(d, spec, truth, qs, func(c *core.Config) {
 			c.EpsPattern = tot / 3
 			c.EpsSanitize = 2 * tot / 3
 		}, fmt.Sprintf("fig8h/eps%g", tot))
-		if err != nil {
-			return nil, fmt.Errorf("fig8h ε=%v: %w", tot, err)
-		}
-		out = append(out, SweepPoint{X: tot, Label: fmt.Sprintf("ε=%.0f", tot), MRE: r.MRE})
+	}
+	results, err := o.runCells(ctx, algs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8h: %w", err)
+	}
+	out := make([]SweepPoint, len(totals))
+	for i, tot := range totals {
+		out[i] = SweepPoint{X: tot, Label: fmt.Sprintf("ε=%.0f", tot), MRE: results[i].MRE}
 	}
 	return out, nil
 }
@@ -271,7 +302,8 @@ func RunFig8Models(o Options) ([]SweepPoint, error) {
 	return RunFig8ModelsContext(context.Background(), o)
 }
 
-// RunFig8ModelsContext is the cancellable, checkpointed variant.
+// RunFig8ModelsContext is the cancellable, checkpointed variant; every
+// (model, rep) cell runs on one worker pool.
 func RunFig8ModelsContext(ctx context.Context, o Options) ([]SweepPoint, error) {
 	kinds := []core.ModelKind{core.ModelRNN, core.ModelGRU, core.ModelAttentiveGRU, core.ModelTransformer}
 	spec := fig8Spec()
@@ -279,14 +311,18 @@ func RunFig8ModelsContext(ctx context.Context, o Options) ([]SweepPoint, error) 
 	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 	truth := in.Truth()
 	qs := o.drawQueries(truth)
-	var out []SweepPoint
+	algs := make([]algCells, len(kinds))
 	for i, kind := range kinds {
-		r, _, err := o.runSTPT(ctx, d, spec, truth, qs, func(c *core.Config) { c.Model = kind },
+		algs[i] = o.stptCells(d, spec, truth, qs, func(c *core.Config) { c.Model = kind },
 			"fig8i/"+kind.String())
-		if err != nil {
-			return nil, fmt.Errorf("fig8i %v: %w", kind, err)
-		}
-		out = append(out, SweepPoint{X: float64(i), Label: kind.String(), MRE: r.MRE})
+	}
+	results, err := o.runCells(ctx, algs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8i: %w", err)
+	}
+	out := make([]SweepPoint, len(kinds))
+	for i, kind := range kinds {
+		out[i] = SweepPoint{X: float64(i), Label: kind.String(), MRE: results[i].MRE}
 	}
 	return out, nil
 }

@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/datasets"
+	"repro/internal/grid"
 	"repro/internal/ldp"
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -23,57 +25,54 @@ func RunLDPExtension(o Options) ([]LDPResult, error) {
 	return RunLDPExtensionContext(context.Background(), o)
 }
 
-// RunLDPExtensionContext is the cancellable, checkpointed variant.
+// RunLDPExtensionContext is the cancellable, checkpointed variant; every
+// (dataset, mechanism, rep) cell runs on one worker pool.
 func RunLDPExtensionContext(ctx context.Context, o Options) ([]LDPResult, error) {
-	var out []LDPResult
-	for _, spec := range []datasets.Spec{datasets.CER, datasets.TX} {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	specs := []datasets.Spec{datasets.CER, datasets.TX}
+	mechanisms := []ldp.Mechanism{ldp.LocalLaplace{}, ldp.LocalSampling{}}
+	perRow := 1 + len(mechanisms)
+	rowAlgs := make([][]algCells, len(specs))
+	parallel.ForEach(o.Workers, len(specs), func(i int) {
+		spec := specs[i]
 		d := o.generate(spec, datasets.Uniform)
 		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
 		truth := in.Truth()
 		qs := o.drawQueries(truth)
-		res := LDPResult{Dataset: spec.Name}
 		prefix := "ldp/" + spec.Name
-
-		central, _, err := o.runSTPT(ctx, d, spec, truth, qs, nil, prefix+"/stpt")
-		if err != nil {
-			return nil, fmt.Errorf("ldp-ext %s: %w", spec.Name, err)
-		}
-		res.Results = append(res.Results, central)
-
 		lin := ldp.Input{Dataset: d, TTrain: o.TTrain, Clip: spec.DailyClip()}
-		for _, m := range []ldp.Mechanism{ldp.LocalLaplace{}, ldp.LocalSampling{}} {
-			acc := map[query.Class]float64{}
-			for rep := 0; rep < o.Reps; rep++ {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				key := repKey(prefix+"/"+m.Name(), rep)
-				if cached := o.lookupRep(key); cached != nil {
-					for c, v := range cached {
-						acc[c] += v
-					}
-					continue
-				}
-				rel, err := m.Release(lin, o.EpsPattern+o.EpsSanitize, o.Seed+int64(rep))
-				if err != nil {
-					return nil, fmt.Errorf("ldp-ext %s/%s: %w", spec.Name, m.Name(), err)
-				}
-				ev := evalRelease(truth, rel, qs)
-				for c, v := range ev {
-					acc[c] += v
-				}
-				if err := o.recordRep(ctx, key, ev); err != nil {
-					return nil, err
-				}
-			}
-			for c := range acc {
-				acc[c] /= float64(o.Reps)
-			}
-			res.Results = append(res.Results, AlgResult{Name: m.Name(), MRE: acc})
+		algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
+		for _, m := range mechanisms {
+			algs = append(algs, o.ldpCells(m, lin, truth, qs, prefix+"/"+m.Name()))
 		}
-		out = append(out, res)
+		rowAlgs[i] = algs
+	})
+	var all []algCells
+	for _, algs := range rowAlgs {
+		all = append(all, algs...)
+	}
+	results, err := o.runCells(ctx, all)
+	if err != nil {
+		return nil, fmt.Errorf("ldp-ext: %w", err)
+	}
+	out := make([]LDPResult, len(specs))
+	for i, spec := range specs {
+		out[i] = LDPResult{Dataset: spec.Name, Results: results[i*perRow : (i+1)*perRow]}
 	}
 	return out, nil
+}
+
+// ldpCells is one local-DP mechanism's slot of an LDP comparison row.
+func (o Options) ldpCells(m ldp.Mechanism, lin ldp.Input, truth *grid.Matrix, qs map[query.Class][]grid.Query, prefix string) algCells {
+	return algCells{name: m.Name(), prefix: prefix, run: func(_ context.Context, rep int) (map[query.Class]float64, error) {
+		rel, err := m.Release(lin, o.EpsPattern+o.EpsSanitize, o.Seed+int64(rep))
+		if err != nil {
+			return nil, err
+		}
+		return evalRelease(truth, rel, qs), nil
+	}}
 }
 
 // PrintLDPExtension renders the central-vs-local comparison.

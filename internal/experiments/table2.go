@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/datasets"
+	"repro/internal/parallel"
 )
 
 // Table2Row pairs a spec's published statistics with the measured
@@ -23,26 +24,28 @@ func RunTable2(o Options) []Table2Row {
 }
 
 // RunTable2Context is RunTable2 with cooperative cancellation and
-// per-dataset checkpoint cells (keyed "table2/<dataset>"). The only
-// error sources are the context and checkpoint I/O.
+// per-dataset checkpoint cells (keyed "table2/<dataset>"), one cell per
+// worker-pool task. The only error sources are the context and
+// checkpoint I/O.
 func RunTable2Context(ctx context.Context, o Options) ([]Table2Row, error) {
-	rows := make([]Table2Row, 0, 4)
-	for _, spec := range datasets.All() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	specs := datasets.All()
+	rows := make([]Table2Row, len(specs))
+	err := parallel.Do(ctx, o.Workers, len(specs), func(i int) error {
+		spec := specs[i]
 		key := "table2/" + spec.Name
 		var st datasets.Stats
-		if o.Checkpoint.Lookup(key, &st) {
-			rows = append(rows, Table2Row{Spec: spec, Measured: st})
-			continue
+		if !o.Checkpoint.Lookup(key, &st) {
+			d := spec.Generate(datasets.Uniform, o.Cx, o.Cy, 7*24, o.Seed)
+			st = datasets.Summarize(d)
+			if err := o.Checkpoint.Record(key, st); err != nil {
+				return err
+			}
 		}
-		d := spec.Generate(datasets.Uniform, o.Cx, o.Cy, 7*24, o.Seed)
-		st = datasets.Summarize(d)
-		if err := o.Checkpoint.Record(key, st); err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table2Row{Spec: spec, Measured: st})
+		rows[i] = Table2Row{Spec: spec, Measured: st}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -68,13 +71,15 @@ type Fig9Row struct {
 }
 
 // RunFig9 regenerates Figure 9: total consumption per weekday over two
-// generated weeks.
+// generated weeks. Datasets are independent and seeded, so they are
+// generated on the worker pool; each task writes its own row slot.
 func RunFig9(o Options) []Fig9Row {
-	rows := make([]Fig9Row, 0, 4)
-	for _, spec := range datasets.All() {
-		d := spec.Generate(datasets.Uniform, o.Cx, o.Cy, 14*24, o.Seed)
-		rows = append(rows, Fig9Row{Dataset: spec.Name, Totals: datasets.WeekdayTotals(d)})
-	}
+	specs := datasets.All()
+	rows := make([]Fig9Row, len(specs))
+	parallel.ForEach(o.Workers, len(specs), func(i int) {
+		d := specs[i].Generate(datasets.Uniform, o.Cx, o.Cy, 14*24, o.Seed)
+		rows[i] = Fig9Row{Dataset: specs[i].Name, Totals: datasets.WeekdayTotals(d)}
+	})
 	return rows
 }
 

@@ -245,6 +245,28 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return y
 }
 
+// MulVecTo computes dst = a*x into a caller-provided buffer and returns
+// dst. dst must have length a.Rows and must not alias x. This is the
+// zero-allocation counterpart of MulVec for layers that reuse scratch
+// buffers across forward/backward steps.
+func (m *Matrix) MulVecTo(dst, x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecTo length %d, want %d", len(x), m.Cols))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecTo dst length %d, want %d", len(dst), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
 // Dot returns the inner product of equal-length vectors.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {

@@ -127,6 +127,40 @@ func TestMulVecMatchesMul(t *testing.T) {
 	}
 }
 
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New(9, 7).RandNormal(rng, 1)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := m.MulVec(x)
+	dst := make([]float64, 9)
+	got := m.MulVecTo(dst, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecTo[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() { m.MulVecTo(dst, x) }); n != 0 {
+		t.Fatalf("MulVecTo allocates %v times per call", n)
+	}
+}
+
+func TestMulVecToBadLengthsPanic(t *testing.T) {
+	m := New(3, 2)
+	for _, c := range []struct{ dst, x int }{{2, 2}, {3, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MulVecTo(dst=%d, x=%d) did not panic", c.dst, c.x)
+				}
+			}()
+			m.MulVecTo(make([]float64, c.dst), make([]float64, c.x))
+		}()
+	}
+}
+
 func TestTMulVecMatchesTranspose(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	a := New(5, 4).RandNormal(rng, 1)

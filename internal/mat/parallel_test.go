@@ -36,6 +36,33 @@ func TestMulParallelLargeMatrix(t *testing.T) {
 	}
 }
 
+// Odd / non-divisible shapes: row counts that don't divide evenly by the
+// worker count, inner dims that straddle the matmul block size, and more
+// workers than rows. Exact equality is required — the parallel kernel
+// runs the same per-row operation sequence as the serial one.
+func TestMulParallelOddShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ n, m, p, workers int }{
+		{7, 13, 5, 3},    // nothing divides
+		{127, 63, 31, 4}, // odd everything
+		{129, 65, 33, 7}, // just past the block boundary
+		{3, 200, 1, 8},   // more workers than rows
+		{1, 1, 1, 16},    // degenerate
+		{64, 64, 64, 3},  // exactly the MulAuto threshold work size
+	}
+	for _, s := range shapes {
+		a := New(s.n, s.m).RandNormal(rng, 1)
+		b := New(s.m, s.p).RandNormal(rng, 1)
+		serial := Mul(a, b)
+		if !Equal(MulParallel(a, b, s.workers), serial, 0) {
+			t.Errorf("MulParallel(%dx%d * %dx%d, workers=%d) != Mul", s.n, s.m, s.m, s.p, s.workers)
+		}
+		if !Equal(MulAuto(a, b), serial, 0) {
+			t.Errorf("MulAuto(%dx%d * %dx%d) != Mul", s.n, s.m, s.m, s.p)
+		}
+	}
+}
+
 func TestMulParallelDimMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -40,10 +40,10 @@ func (a *SelfAttention) Forward(x *mat.Matrix) (*mat.Matrix, *attnCache) {
 		panic("nn: attention input dim mismatch")
 	}
 	n := x.Rows
-	q := mat.Mul(x, a.Wq.W.T())
-	k := mat.Mul(x, a.Wk.W.T())
-	v := mat.Mul(x, a.Wv.W.T())
-	scores := mat.Mul(q, k.T())
+	q := mat.MulAuto(x, a.Wq.W.T())
+	k := mat.MulAuto(x, a.Wk.W.T())
+	v := mat.MulAuto(x, a.Wv.W.T())
+	scores := mat.MulAuto(q, k.T())
 	scale := 1 / math.Sqrt(float64(a.Dim))
 	attn := mat.New(n, n)
 	for i := 0; i < n; i++ {
@@ -53,7 +53,7 @@ func (a *SelfAttention) Forward(x *mat.Matrix) (*mat.Matrix, *attnCache) {
 		}
 		mat.Softmax(attn.Row(i), row)
 	}
-	y := mat.Mul(attn, v)
+	y := mat.MulAuto(attn, v)
 	return y, &attnCache{x: x, q: q, k: k, v: v, attn: attn}
 }
 
@@ -64,8 +64,8 @@ func (a *SelfAttention) Backward(c *attnCache, dy *mat.Matrix) *mat.Matrix {
 	scale := 1 / math.Sqrt(float64(d))
 
 	// Y = A·V: dA = dY·Vᵀ, dV = Aᵀ·dY.
-	dA := mat.Mul(dy, c.v.T())
-	dV := mat.Mul(c.attn.T(), dy)
+	dA := mat.MulAuto(dy, c.v.T())
+	dV := mat.MulAuto(c.attn.T(), dy)
 
 	// Softmax backward row-wise: dS_ij = A_ij(dA_ij - Σ_k dA_ik A_ik).
 	dS := mat.New(n, n)
@@ -83,17 +83,17 @@ func (a *SelfAttention) Backward(c *attnCache, dy *mat.Matrix) *mat.Matrix {
 	}
 
 	// S = Q·Kᵀ (pre-scale): dQ = dS·K, dK = dSᵀ·Q.
-	dQ := mat.Mul(dS, c.k)
-	dK := mat.Mul(dS.T(), c.q)
+	dQ := mat.MulAuto(dS, c.k)
+	dK := mat.MulAuto(dS.T(), c.q)
 
 	// Q = X·Wqᵀ: dWq = dQᵀ·X, dX += dQ·Wq; same for K, V.
-	a.Wq.G.Add(a.Wq.G, mat.Mul(dQ.T(), c.x))
-	a.Wk.G.Add(a.Wk.G, mat.Mul(dK.T(), c.x))
-	a.Wv.G.Add(a.Wv.G, mat.Mul(dV.T(), c.x))
+	a.Wq.G.Add(a.Wq.G, mat.MulAuto(dQ.T(), c.x))
+	a.Wk.G.Add(a.Wk.G, mat.MulAuto(dK.T(), c.x))
+	a.Wv.G.Add(a.Wv.G, mat.MulAuto(dV.T(), c.x))
 
-	dx := mat.Mul(dQ, a.Wq.W)
-	dx.Add(dx, mat.Mul(dK, a.Wk.W))
-	dx.Add(dx, mat.Mul(dV, a.Wv.W))
+	dx := mat.MulAuto(dQ, a.Wq.W)
+	dx.Add(dx, mat.MulAuto(dK, a.Wk.W))
+	dx.Add(dx, mat.MulAuto(dV, a.Wv.W))
 	return dx
 }
 

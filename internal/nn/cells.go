@@ -31,9 +31,12 @@ func ZeroState(c RecurrentCell) []float64 { return make([]float64, c.StateSize()
 // Elman RNN: h' = tanh(Wx·x + Wh·h + b)
 
 // RNNCell is the vanilla (Elman) recurrent cell — the paper's base model.
+// Like every cell, an instance owns reusable scratch and must be stepped
+// from one goroutine at a time (workers use shadow clones).
 type RNNCell struct {
 	in, hidden int
 	Wx, Wh, B  *Param
+	pre, tmp   []float64 // pre-activation scratch, dead after each Step
 }
 
 // NewRNNCell creates an Elman cell with Glorot weights and a near-identity
@@ -62,13 +65,23 @@ type rnnCache struct {
 
 // Step advances the cell one timestep.
 func (c *RNNCell) Step(x, state []float64) ([]float64, any) {
-	z := c.Wx.W.MulVec(x)
-	wh := c.Wh.W.MulVec(state)
-	mat.AddVec(z, z, wh)
-	mat.AddVec(z, z, c.B.W.Data)
+	if c.pre == nil {
+		c.pre = make([]float64, c.hidden)
+		c.tmp = make([]float64, c.hidden)
+	}
+	c.Wx.W.MulVecTo(c.pre, x)
+	c.Wh.W.MulVecTo(c.tmp, state)
+	mat.AddVec(c.pre, c.pre, c.tmp)
+	mat.AddVec(c.pre, c.pre, c.B.W.Data)
 	h := make([]float64, c.hidden)
-	tanhVec(h, z)
+	tanhVec(h, c.pre)
 	return h, &rnnCache{x: x, hPrev: state, hNew: h}
+}
+
+// shadow returns a clone sharing weights with c but owning fresh gradient
+// and scratch buffers.
+func (c *RNNCell) shadow() RecurrentCell {
+	return &RNNCell{in: c.in, hidden: c.hidden, Wx: c.Wx.Shadow(), Wh: c.Wh.Shadow(), B: c.B.Shadow()}
 }
 
 // StepBackward backpropagates one timestep.
@@ -93,6 +106,7 @@ type GRUCell struct {
 	in, hidden             int
 	Wz, Uz, Bz, Wr, Ur, Br *Param
 	Wc, Uc, Bc             *Param
+	pre, tmp               []float64 // pre-activation scratch, dead after each Step
 }
 
 // NewGRUCell creates a GRU cell with Glorot weights.
@@ -117,38 +131,57 @@ func (c *GRUCell) Params() []*Param {
 }
 
 type gruCache struct {
-	x, hPrev        []float64
-	z, r, cand, rh  []float64
+	x, hPrev       []float64
+	z, r, cand, rh []float64
 }
 
 // Step advances the cell one timestep.
 func (c *GRUCell) Step(x, state []float64) ([]float64, any) {
 	h := state
-	z := make([]float64, c.hidden)
-	r := make([]float64, c.hidden)
-	pre := c.Wz.W.MulVec(x)
-	mat.AddVec(pre, pre, c.Uz.W.MulVec(h))
-	mat.AddVec(pre, pre, c.Bz.W.Data)
-	sigmoidVec(z, pre)
+	n := c.hidden
+	if c.pre == nil {
+		c.pre = make([]float64, n)
+		c.tmp = make([]float64, n)
+	}
+	// The per-step vectors z, r, rh, cand, hNew outlive this call via the
+	// cache (BPTT keeps every timestep), so they come from one slab; only
+	// the gate pre-activations are reusable scratch.
+	slab := make([]float64, 5*n)
+	z, r, rh, cand, hNew := slab[0:n:n], slab[n:2*n:2*n], slab[2*n:3*n:3*n], slab[3*n:4*n:4*n], slab[4*n:]
 
-	pre = c.Wr.W.MulVec(x)
-	mat.AddVec(pre, pre, c.Ur.W.MulVec(h))
-	mat.AddVec(pre, pre, c.Br.W.Data)
-	sigmoidVec(r, pre)
+	c.Wz.W.MulVecTo(c.pre, x)
+	c.Uz.W.MulVecTo(c.tmp, h)
+	mat.AddVec(c.pre, c.pre, c.tmp)
+	mat.AddVec(c.pre, c.pre, c.Bz.W.Data)
+	sigmoidVec(z, c.pre)
 
-	rh := make([]float64, c.hidden)
+	c.Wr.W.MulVecTo(c.pre, x)
+	c.Ur.W.MulVecTo(c.tmp, h)
+	mat.AddVec(c.pre, c.pre, c.tmp)
+	mat.AddVec(c.pre, c.pre, c.Br.W.Data)
+	sigmoidVec(r, c.pre)
+
 	mat.HadamardVec(rh, r, h)
-	pre = c.Wc.W.MulVec(x)
-	mat.AddVec(pre, pre, c.Uc.W.MulVec(rh))
-	mat.AddVec(pre, pre, c.Bc.W.Data)
-	cand := make([]float64, c.hidden)
-	tanhVec(cand, pre)
+	c.Wc.W.MulVecTo(c.pre, x)
+	c.Uc.W.MulVecTo(c.tmp, rh)
+	mat.AddVec(c.pre, c.pre, c.tmp)
+	mat.AddVec(c.pre, c.pre, c.Bc.W.Data)
+	tanhVec(cand, c.pre)
 
-	hNew := make([]float64, c.hidden)
 	for i := range hNew {
 		hNew[i] = (1-z[i])*h[i] + z[i]*cand[i]
 	}
 	return hNew, &gruCache{x: x, hPrev: h, z: z, r: r, cand: cand, rh: rh}
+}
+
+// shadow returns a clone sharing weights with c but owning fresh gradient
+// and scratch buffers.
+func (c *GRUCell) shadow() RecurrentCell {
+	return &GRUCell{in: c.in, hidden: c.hidden,
+		Wz: c.Wz.Shadow(), Uz: c.Uz.Shadow(), Bz: c.Bz.Shadow(),
+		Wr: c.Wr.Shadow(), Ur: c.Ur.Shadow(), Br: c.Br.Shadow(),
+		Wc: c.Wc.Shadow(), Uc: c.Uc.Shadow(), Bc: c.Bc.Shadow(),
+	}
 }
 
 // StepBackward backpropagates one timestep.
@@ -211,6 +244,7 @@ type LSTMCell struct {
 	Wf, Uf, Bf *Param
 	Wo, Uo, Bo *Param
 	Wg, Ug, Bg *Param
+	pre, tmp   []float64 // pre-activation scratch, dead after each Step
 }
 
 // NewLSTMCell creates an LSTM cell with Glorot weights and forget bias 1.
@@ -239,37 +273,55 @@ func (c *LSTMCell) Params() []*Param {
 }
 
 type lstmCache struct {
-	x, hPrev, cPrev    []float64
-	i, f, o, g, cNew   []float64
-	tanhC              []float64
+	x, hPrev, cPrev  []float64
+	i, f, o, g, cNew []float64
+	tanhC            []float64
 }
 
 // Step advances the cell one timestep.
 func (c *LSTMCell) Step(x, state []float64) ([]float64, any) {
-	h := state[:c.hidden]
-	cPrev := state[c.hidden:]
-	gate := func(W, U, B *Param, act func(dst, x []float64)) []float64 {
-		pre := W.W.MulVec(x)
-		mat.AddVec(pre, pre, U.W.MulVec(h))
-		mat.AddVec(pre, pre, B.W.Data)
-		out := make([]float64, c.hidden)
-		act(out, pre)
-		return out
+	n := c.hidden
+	h := state[:n]
+	cPrev := state[n:]
+	if c.pre == nil {
+		c.pre = make([]float64, n)
+		c.tmp = make([]float64, n)
 	}
-	i := gate(c.Wi, c.Ui, c.Bi, sigmoidVec)
-	f := gate(c.Wf, c.Uf, c.Bf, sigmoidVec)
-	o := gate(c.Wo, c.Uo, c.Bo, sigmoidVec)
-	g := gate(c.Wg, c.Ug, c.Bg, tanhVec)
-	cNew := make([]float64, c.hidden)
-	tanhC := make([]float64, c.hidden)
-	newState := make([]float64, 2*c.hidden)
-	for k := 0; k < c.hidden; k++ {
+	// Gate activations and derived vectors are kept by the cache for BPTT:
+	// one slab for all six, plus the returned state.
+	slab := make([]float64, 6*n)
+	i, f, o := slab[0:n:n], slab[n:2*n:2*n], slab[2*n:3*n:3*n]
+	g, cNew, tanhC := slab[3*n:4*n:4*n], slab[4*n:5*n:5*n], slab[5*n:]
+	gate := func(W, U, B *Param, act func(dst, x []float64), out []float64) {
+		W.W.MulVecTo(c.pre, x)
+		U.W.MulVecTo(c.tmp, h)
+		mat.AddVec(c.pre, c.pre, c.tmp)
+		mat.AddVec(c.pre, c.pre, B.W.Data)
+		act(out, c.pre)
+	}
+	gate(c.Wi, c.Ui, c.Bi, sigmoidVec, i)
+	gate(c.Wf, c.Uf, c.Bf, sigmoidVec, f)
+	gate(c.Wo, c.Uo, c.Bo, sigmoidVec, o)
+	gate(c.Wg, c.Ug, c.Bg, tanhVec, g)
+	newState := make([]float64, 2*n)
+	for k := 0; k < n; k++ {
 		cNew[k] = f[k]*cPrev[k] + i[k]*g[k]
 		tanhC[k] = math.Tanh(cNew[k])
 		newState[k] = o[k] * tanhC[k]
-		newState[c.hidden+k] = cNew[k]
+		newState[n+k] = cNew[k]
 	}
 	return newState, &lstmCache{x: x, hPrev: h, cPrev: cPrev, i: i, f: f, o: o, g: g, cNew: cNew, tanhC: tanhC}
+}
+
+// shadow returns a clone sharing weights with c but owning fresh gradient
+// and scratch buffers.
+func (c *LSTMCell) shadow() RecurrentCell {
+	return &LSTMCell{in: c.in, hidden: c.hidden,
+		Wi: c.Wi.Shadow(), Ui: c.Ui.Shadow(), Bi: c.Bi.Shadow(),
+		Wf: c.Wf.Shadow(), Uf: c.Uf.Shadow(), Bf: c.Bf.Shadow(),
+		Wo: c.Wo.Shadow(), Uo: c.Uo.Shadow(), Bo: c.Bo.Shadow(),
+		Wg: c.Wg.Shadow(), Ug: c.Ug.Shadow(), Bg: c.Bg.Shadow(),
+	}
 }
 
 // StepBackward backpropagates one timestep. dState carries [dh | dc].

@@ -1,0 +1,86 @@
+package nn
+
+// ShadowCloner is implemented by models that can produce data-parallel
+// training clones. A shadow clone shares the original's weight matrices
+// (read-only during forward/backward) but owns private gradient
+// accumulators and scratch buffers, so each worker goroutine can run
+// Forward/Backward on its own clone without synchronisation. The trainer
+// reduces clone gradients into the base parameters in fixed shard order;
+// optimizers only ever step base parameters.
+//
+// ShadowClone returns nil when the model cannot be cloned (e.g. a
+// RecurrentModel wrapping a third-party cell); the trainer then falls
+// back to the serial path.
+type ShadowCloner interface {
+	ShadowClone() Model
+}
+
+// cellShadower is the cell-level counterpart of ShadowCloner; all
+// in-tree cells implement it.
+type cellShadower interface {
+	shadow() RecurrentCell
+}
+
+func (a *SelfAttention) shadow() *SelfAttention {
+	return &SelfAttention{Dim: a.Dim, Wq: a.Wq.Shadow(), Wk: a.Wk.Shadow(), Wv: a.Wv.Shadow()}
+}
+
+func (l *LayerNorm) shadow() *LayerNorm {
+	return &LayerNorm{Dim: l.Dim, Gamma: l.Gamma.Shadow(), Beta: l.Beta.Shadow()}
+}
+
+func (m *MultiHeadAttention) shadow() *MultiHeadAttention {
+	out := &MultiHeadAttention{Dim: m.Dim, Heads: m.Heads, Wo: m.Wo.Shadow()}
+	for _, h := range m.heads {
+		out.heads = append(out.heads, h.shadow())
+	}
+	return out
+}
+
+// ShadowClone returns a worker-private clone, or nil when the wrapped
+// cell does not support shadowing.
+func (m *RecurrentModel) ShadowClone() Model {
+	cs, ok := m.cell.(cellShadower)
+	if !ok {
+		return nil
+	}
+	return &RecurrentModel{
+		name:  m.name,
+		ws:    m.ws,
+		ctx:   m.ctx,
+		embed: m.embed.shadow(),
+		cell:  cs.shadow(),
+		head:  m.head.shadow(),
+	}
+}
+
+// ShadowClone returns a worker-private clone.
+func (m *AttentiveGRUModel) ShadowClone() Model {
+	return &AttentiveGRUModel{
+		name:  m.name,
+		ws:    m.ws,
+		ctx:   m.ctx,
+		embed: m.embed.shadow(),
+		attn:  m.attn.shadow(),
+		cell:  m.cell.shadow().(*GRUCell),
+		head:  m.head.shadow(),
+	}
+}
+
+// ShadowClone returns a worker-private clone. The fixed positional
+// encoding matrix is shared: it is never written after construction.
+func (m *TransformerModel) ShadowClone() Model {
+	return &TransformerModel{
+		name:  m.name,
+		ws:    m.ws,
+		ctx:   m.ctx,
+		embed: m.embed.shadow(),
+		pos:   m.pos,
+		attn:  m.attn.shadow(),
+		ln1:   m.ln1.shadow(),
+		ffn1:  m.ffn1.shadow(),
+		ffn2:  m.ffn2.shadow(),
+		ln2:   m.ln2.shadow(),
+		head:  m.head.shadow(),
+	}
+}

@@ -7,11 +7,18 @@ import (
 )
 
 // Dense is a fully connected layer y = act(W·x + b) over vectors.
+//
+// A Dense layer owns reusable scratch buffers, so a given instance must
+// only be used from one goroutine at a time; data-parallel training gives
+// each worker its own shadow clone (see ShadowCloner).
 type Dense struct {
 	In, Out int
 	W       *Param // Out x In
 	B       *Param // 1 x Out
 	Act     Activation
+
+	z  []float64 // pre-activation scratch, reused across Forward calls
+	dz []float64 // pre-activation gradient scratch for Backward
 }
 
 // Activation selects the elementwise non-linearity of a Dense layer.
@@ -41,6 +48,12 @@ func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
 // Params returns the layer's trainable parameters.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
+// shadow returns a clone sharing weight storage with d but owning fresh
+// gradient and scratch buffers, for single-goroutine use by one worker.
+func (d *Dense) shadow() *Dense {
+	return &Dense{In: d.In, Out: d.Out, Act: d.Act, W: d.W.Shadow(), B: d.B.Shadow()}
+}
+
 // denseCache stores what Backward needs from one Forward call.
 type denseCache struct {
 	x []float64 // input
@@ -53,9 +66,22 @@ func (d *Dense) Forward(x []float64) ([]float64, *denseCache) {
 	if len(x) != d.In {
 		panic("nn: Dense input size mismatch")
 	}
-	z := d.W.W.MulVec(x)
+	// ReLU keeps the pre-activation in the cache, so it must outlive this
+	// call: allocate z and y as one slab. Other activations reconstruct
+	// their derivative from y alone, so z can live in reusable scratch.
+	var z, y []float64
+	if d.Act == ReLU {
+		slab := make([]float64, 2*d.Out)
+		z, y = slab[:d.Out], slab[d.Out:]
+	} else {
+		if d.z == nil {
+			d.z = make([]float64, d.Out)
+		}
+		z = d.z
+		y = make([]float64, d.Out)
+	}
+	d.W.W.MulVecTo(z, x)
 	mat.AddVec(z, z, d.B.W.Data)
-	y := make([]float64, d.Out)
 	switch d.Act {
 	case Linear:
 		copy(y, z)
@@ -80,7 +106,10 @@ func (d *Dense) Backward(c *denseCache, dy []float64) []float64 {
 	if len(dy) != d.Out {
 		panic("nn: Dense gradient size mismatch")
 	}
-	dz := make([]float64, d.Out)
+	if d.dz == nil {
+		d.dz = make([]float64, d.Out)
+	}
+	dz := d.dz
 	switch d.Act {
 	case Linear:
 		copy(dz, dy)
@@ -96,6 +125,8 @@ func (d *Dense) Backward(c *denseCache, dy []float64) []float64 {
 		for i := range dz {
 			if c.z[i] > 0 {
 				dz[i] = dy[i]
+			} else {
+				dz[i] = 0
 			}
 		}
 	}

@@ -64,7 +64,7 @@ func (m *MultiHeadAttention) Forward(x *mat.Matrix) (*mat.Matrix, *mhaCache) {
 			copy(c.concat.Row(i)[h*hd:(h+1)*hd], out.Row(i))
 		}
 	}
-	y := mat.Mul(c.concat, m.Wo.W.T())
+	y := mat.MulAuto(c.concat, m.Wo.W.T())
 	return y, c
 }
 
@@ -73,8 +73,8 @@ func (m *MultiHeadAttention) Backward(c *mhaCache, dy *mat.Matrix) *mat.Matrix {
 	n := dy.Rows
 	hd := m.Dim / m.Heads
 	// Y = concat·Woᵀ: dWo = dYᵀ·concat, dConcat = dY·Wo.
-	m.Wo.G.Add(m.Wo.G, mat.Mul(dy.T(), c.concat))
-	dConcat := mat.Mul(dy, m.Wo.W)
+	m.Wo.G.Add(m.Wo.G, mat.MulAuto(dy.T(), c.concat))
+	dConcat := mat.MulAuto(dy, m.Wo.W)
 	dx := mat.New(n, m.Dim)
 	for h, head := range m.heads {
 		dHead := mat.New(n, hd)

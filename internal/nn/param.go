@@ -30,6 +30,14 @@ func NewParam(name string, rows, cols int) *Param {
 // ZeroGrad clears the gradient accumulator.
 func (p *Param) ZeroGrad() { p.G.Zero() }
 
+// Shadow returns a parameter that shares p's weight storage but owns a
+// fresh, zeroed gradient accumulator. Data-parallel workers accumulate
+// into shadows and the trainer reduces them into the base gradients in
+// shard order; only base parameters are ever stepped by an optimizer.
+func (p *Param) Shadow() *Param {
+	return &Param{Name: p.Name, W: p.W, G: mat.New(p.G.Rows, p.G.Cols)}
+}
+
 // ZeroGrads clears every gradient in the set.
 func ZeroGrads(ps []*Param) {
 	for _, p := range ps {

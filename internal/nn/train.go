@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/resilience"
 	"repro/internal/timeseries"
 )
@@ -23,11 +24,22 @@ func DefaultTrainConfig() TrainConfig {
 
 // Trainer fits a Model on supervised windows with mini-batch gradient
 // descent and MSE loss.
+//
+// Workers controls data-parallel gradient computation: each mini-batch is
+// split into contiguous shards, one shadow clone of the model per worker
+// (see ShadowCloner), and shard gradients are reduced into the base
+// parameters in shard order. Workers <= 1 (the zero value) runs the
+// historical serial loop and is bit-identical to it; Workers = N is
+// deterministic for fixed N (shard boundaries and reduction order depend
+// only on batch size and N) but regroups floating-point sums relative to
+// the serial path. Models that do not implement ShadowCloner silently
+// fall back to serial.
 type Trainer struct {
-	Model Model
-	Opt   Optimizer
-	Cfg   TrainConfig
-	Rng   *rand.Rand
+	Model   Model
+	Opt     Optimizer
+	Cfg     TrainConfig
+	Rng     *rand.Rand
+	Workers int
 }
 
 // Fit trains the model and returns the mean training loss of each epoch.
@@ -47,6 +59,7 @@ func (tr *Trainer) FitContext(ctx context.Context, samples []timeseries.Window) 
 	if tr.Cfg.Epochs <= 0 || tr.Cfg.BatchSize <= 0 {
 		return nil, fmt.Errorf("nn: invalid config %+v", tr.Cfg)
 	}
+	clones := tr.workerClones()
 	idx := make([]int, len(samples))
 	for i := range idx {
 		idx[i] = i
@@ -64,15 +77,19 @@ func (tr *Trainer) FitContext(ctx context.Context, samples []timeseries.Window) 
 			if end > len(idx) {
 				end = len(idx)
 			}
-			ZeroGrads(params)
 			batch := idx[start:end]
-			for _, si := range batch {
-				s := samples[si]
-				pred, cache := tr.Model.Forward(s.Input, s.Ctx)
-				diff := pred - s.Target
-				epochLoss += diff * diff
-				// d(MSE)/dpred averaged over the batch.
-				tr.Model.Backward(cache, 2*diff/float64(len(batch)))
+			if clones == nil {
+				ZeroGrads(params)
+				for _, si := range batch {
+					s := samples[si]
+					pred, cache := tr.Model.Forward(s.Input, s.Ctx)
+					diff := pred - s.Target
+					epochLoss += diff * diff
+					// d(MSE)/dpred averaged over the batch.
+					tr.Model.Backward(cache, 2*diff/float64(len(batch)))
+				}
+			} else {
+				epochLoss += tr.parallelBatch(clones, samples, batch, params)
 			}
 			ClipGrads(params, tr.Cfg.ClipNorm)
 			tr.Opt.Step(params)
@@ -86,6 +103,64 @@ func (tr *Trainer) FitContext(ctx context.Context, samples []timeseries.Window) 
 		}
 	}
 	return losses, nil
+}
+
+// workerClones returns one shadow clone per extra worker, or nil when the
+// fit should run serially (Workers <= 1 or the model cannot be cloned).
+func (tr *Trainer) workerClones() []Model {
+	if tr.Workers <= 1 {
+		return nil
+	}
+	sc, ok := tr.Model.(ShadowCloner)
+	if !ok {
+		return nil
+	}
+	clones := make([]Model, tr.Workers)
+	for i := range clones {
+		c := sc.ShadowClone()
+		if c == nil {
+			return nil
+		}
+		clones[i] = c
+	}
+	return clones
+}
+
+// parallelBatch shards one mini-batch across the worker clones, runs
+// forward/backward per shard concurrently, and reduces gradients and the
+// squared-error sum into the base parameters in shard order. The returned
+// loss contribution and the gradients depend only on the batch contents
+// and the shard layout, never on goroutine scheduling.
+func (tr *Trainer) parallelBatch(clones []Model, samples []timeseries.Window, batch []int, params []*Param) float64 {
+	shards := parallel.Shards(len(batch), len(clones))
+	lossByShard := make([]float64, len(shards))
+	scale := 2 / float64(len(batch))
+	parallel.ForEachShard(len(clones), len(batch), func(s int, r parallel.Range) {
+		m := clones[s]
+		cp := m.Params()
+		ZeroGrads(cp)
+		var loss float64
+		for _, si := range batch[r.Lo:r.Hi] {
+			w := samples[si]
+			pred, cache := m.Forward(w.Input, w.Ctx)
+			diff := pred - w.Target
+			loss += diff * diff
+			m.Backward(cache, scale*diff)
+		}
+		lossByShard[s] = loss
+	})
+	// Shard-ordered reduction: Params() enumerates parameters in a fixed
+	// order, so base[i] and clone[i] always refer to the same tensor.
+	ZeroGrads(params)
+	var loss float64
+	for s := range shards {
+		cp := clones[s].Params()
+		for i, p := range params {
+			p.G.Add(p.G, cp[i].G)
+		}
+		loss += lossByShard[s]
+	}
+	return loss
 }
 
 // Evaluate returns the MAE and RMSE of the model over the samples.

@@ -1,0 +1,187 @@
+// Package parallel is the deterministic execution layer shared by every
+// hot path: a bounded worker pool over index ranges, contiguous sharding
+// helpers, and ordering conventions that keep parallel results
+// reproducible. The package enforces two invariants that the numeric
+// code relies on:
+//
+//  1. Work assignment is positional, never racy: shards are contiguous
+//     index ranges computed up front, so which goroutine touches which
+//     indices depends only on (n, workers), not on scheduling.
+//  2. Reductions happen in shard order after the join, so floating-point
+//     accumulation has one well-defined grouping per worker count. At
+//     workers <= 1 every helper degenerates to the plain serial loop,
+//     reproducing the historical single-threaded results bit for bit.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob for callers that want "as parallel
+// as the hardware": n > 0 is honoured verbatim, anything else maps to
+// GOMAXPROCS. Library structs deliberately do NOT use this: their zero
+// value means serial (see e.g. core.Config.Workers), and only the CLIs
+// default to Workers(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Shards splits [0, n) into at most workers contiguous, near-equal
+// ranges. Empty ranges are never returned; n == 0 yields nil. The split
+// depends only on (n, workers), which is what makes shard-ordered
+// reductions deterministic.
+func Shards(n, workers int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]Range, 0, workers)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
+// fn must only write state owned by index i (disjoint writes need no
+// synchronisation). workers <= 1 runs the plain serial loop on the
+// calling goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachShard partitions [0, n) into contiguous shards (one per worker,
+// at most workers of them) and runs fn(s, r) concurrently, where s is the
+// shard index and r its range. Use this instead of ForEach when each
+// worker needs private scratch state (e.g. a model clone): state can be
+// keyed by s. With one shard the call runs serially on the caller.
+func ForEachShard(workers, n int, fn func(s int, r Range)) {
+	shards := Shards(n, workers)
+	switch len(shards) {
+	case 0:
+		return
+	case 1:
+		fn(0, shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for s := range shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fn(s, shards[s])
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Do runs fn(i) for every i in [0, n) on up to workers goroutines with
+// cooperative cancellation and deterministic error selection: whatever
+// subset of tasks fails, the returned error is the one with the lowest
+// index (so a parallel sweep reports the same failure a serial sweep
+// would). After the first failure or context cancellation no new tasks
+// are started; tasks already running finish normally.
+//
+// workers <= 1 preserves the historical serial sweep semantics exactly:
+// tasks run in index order on the calling goroutine and the loop stops at
+// the first error or cancellation.
+func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		errs = make([]error, n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,205 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-2); got != want {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestShards(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {7, 3}, {100, 7}, {3, 1}, {6, 0}, {2, 100},
+	}
+	for _, c := range cases {
+		shards := Shards(c.n, c.workers)
+		if c.n == 0 {
+			if shards != nil {
+				t.Fatalf("Shards(%d,%d) = %v, want nil", c.n, c.workers, shards)
+			}
+			continue
+		}
+		if len(shards) == 0 {
+			t.Fatalf("Shards(%d,%d) empty", c.n, c.workers)
+		}
+		if c.workers >= 1 && len(shards) > c.workers {
+			t.Fatalf("Shards(%d,%d) returned %d shards", c.n, c.workers, len(shards))
+		}
+		// Shards must tile [0, n) contiguously with no empty ranges.
+		pos := 0
+		for _, r := range shards {
+			if r.Lo != pos || r.Hi <= r.Lo {
+				t.Fatalf("Shards(%d,%d) = %v: bad range %v at pos %d", c.n, c.workers, shards, r, pos)
+			}
+			pos = r.Hi
+		}
+		if pos != c.n {
+			t.Fatalf("Shards(%d,%d) covers [0,%d), want [0,%d)", c.n, c.workers, pos, c.n)
+		}
+	}
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a := Shards(1000, 7)
+	b := Shards(1000, 7)
+	if len(a) != len(b) {
+		t.Fatal("shard count differs between calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		n := 57
+		hits := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachShardPrivateState(t *testing.T) {
+	n := 101
+	workers := 4
+	shards := Shards(n, workers)
+	sums := make([]int, len(shards))
+	ForEachShard(workers, n, func(s int, r Range) {
+		// Each shard writes only its own accumulator: no synchronisation
+		// needed, and the reduction below is in shard order.
+		for i := r.Lo; i < r.Hi; i++ {
+			sums[s] += i
+		}
+	})
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if want := n * (n - 1) / 2; total != want {
+		t.Fatalf("sharded sum = %d, want %d", total, want)
+	}
+}
+
+func TestDoSerialOrderAndFirstError(t *testing.T) {
+	var order []int
+	boom := errors.New("boom")
+	err := Do(context.Background(), 1, 10, func(i int) error {
+		order = append(order, i)
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial Do ran %d tasks after error at index 4: %v", len(order), order)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+}
+
+func TestDoParallelLowestIndexError(t *testing.T) {
+	// Multiple tasks fail; the reported error must be the lowest-index one
+	// regardless of scheduling.
+	for trial := 0; trial < 20; trial++ {
+		err := Do(context.Background(), 4, 32, func(i int) error {
+			if i == 7 || i == 20 || i == 31 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("Do returned nil despite failures")
+		}
+		if got := err.Error(); got != "fail-7" {
+			t.Fatalf("trial %d: err = %q, want fail-7", trial, got)
+		}
+	}
+}
+
+func TestDoCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Do(ctx, 4, 100, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Do: err = %v", err)
+	}
+	// Pre-cancelled contexts should start little to no work; the serial
+	// path starts none.
+	if err := Do(ctx, 1, 100, func(i int) error { t.Fatal("serial task ran after cancel"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial pre-cancelled Do: err = %v", err)
+	}
+}
+
+func TestDoMidRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := Do(ctx, 2, 1000, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not stop scheduling: ran %d tasks", got)
+	}
+}
+
+func TestDoStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	_ = Do(context.Background(), 2, 10000, func(i int) error {
+		ran.Add(1)
+		return errors.New("early")
+	})
+	if got := ran.Load(); got > 100 {
+		t.Fatalf("error did not stop scheduling: ran %d tasks", got)
+	}
+}
+
+func TestDoAllIndicesRun(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		n := 203
+		hits := make([]int32, n)
+		if err := Do(context.Background(), workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"repro/internal/grid"
+	"repro/internal/parallel"
 	"repro/internal/timeseries"
 )
 
@@ -97,28 +98,50 @@ func span(rng *rand.Rand, n int) (int, int) {
 // true answer as the denominator (Eq. 5 verbatim). When every query is
 // sub-floor the function returns 0.
 func Evaluate(truth, release *grid.Matrix, queries []grid.Query, floor float64) float64 {
+	return EvaluateWorkers(truth, release, queries, floor, 1)
+}
+
+// EvaluateWorkers is Evaluate with the query loop sharded across workers.
+// Each shard accumulates its own (error sum, counted queries) pair over a
+// contiguous stretch of the query list, and the pairs are reduced in shard
+// order, so the result is deterministic for any fixed worker count and
+// matches the serial evaluation up to float summation regrouping
+// (bit-identically at workers <= 1).
+func EvaluateWorkers(truth, release *grid.Matrix, queries []grid.Query, floor float64, workers int) float64 {
 	if truth.Cx != release.Cx || truth.Cy != release.Cy || truth.Ct != release.Ct {
 		panic("query: truth/release dimension mismatch")
 	}
 	perCellFloor := truth.Total() * 0.001 / float64(truth.Len())
 	tp := grid.NewPrefixSum(truth)
 	rp := grid.NewPrefixSum(release)
+	shards := parallel.Shards(len(queries), workers)
+	sums := make([]float64, len(shards))
+	counts := make([]int, len(shards))
+	parallel.ForEachShard(workers, len(queries), func(s int, r parallel.Range) {
+		var sum float64
+		n := 0
+		for _, q := range queries[r.Lo:r.Hi] {
+			f := floor
+			if f <= 0 {
+				f = perCellFloor * float64(q.Volume())
+				if f < 1 {
+					f = 1
+				}
+			}
+			p := tp.RangeSum(q)
+			if p < f {
+				continue
+			}
+			sum += timeseries.MRE(p, rp.RangeSum(q), 0)
+			n++
+		}
+		sums[s], counts[s] = sum, n
+	})
 	var sum float64
 	n := 0
-	for _, q := range queries {
-		f := floor
-		if f <= 0 {
-			f = perCellFloor * float64(q.Volume())
-			if f < 1 {
-				f = 1
-			}
-		}
-		p := tp.RangeSum(q)
-		if p < f {
-			continue
-		}
-		sum += timeseries.MRE(p, rp.RangeSum(q), 0)
-		n++
+	for s := range shards {
+		sum += sums[s]
+		n += counts[s]
 	}
 	if n == 0 {
 		return 0
@@ -132,13 +155,25 @@ func GenerateSeeded(seed int64, class Class, cx, cy, ct, count int) []grid.Query
 	return Generate(rand.New(rand.NewSource(seed)), class, cx, cy, ct, count)
 }
 
+// ClassSeed derives an independent sub-seed for one workload class from a
+// base seed by splitmix64-style bit mixing. Deriving per-class streams —
+// instead of threading one RNG across classes — means each class's query
+// set depends only on (seed, class): adding, removing, or resizing one
+// workload never perturbs another's queries.
+func ClassSeed(seed int64, c Class) int64 {
+	z := uint64(seed) + (uint64(c)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // EvaluateAll runs all three workload classes with count queries each and
-// returns the per-class mean MRE.
+// returns the per-class mean MRE. Each class draws its queries from its own
+// ClassSeed-derived PRNG stream.
 func EvaluateAll(truth, release *grid.Matrix, count int, seed int64) map[Class]float64 {
-	rng := rand.New(rand.NewSource(seed))
 	out := make(map[Class]float64, 3)
 	for _, c := range Classes() {
-		qs := Generate(rng, c, truth.Cx, truth.Cy, truth.Ct, count)
+		qs := GenerateSeeded(ClassSeed(seed, c), c, truth.Cx, truth.Cy, truth.Ct, count)
 		out[c] = Evaluate(truth, release, qs, 0)
 	}
 	return out

@@ -7,6 +7,8 @@ package timeseries
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Location is a household's cell coordinate on the Cx x Cy spatial grid.
@@ -111,6 +113,45 @@ func (d *Dataset) GlobalMinMax() (min, max float64) {
 	return min, max
 }
 
+// GlobalMinMaxWorkers is GlobalMinMax with the household range sharded
+// across workers. Min/max reduction is exact under any regrouping, so the
+// result is bit-identical to the serial scan for every worker count.
+func (d *Dataset) GlobalMinMaxWorkers(workers int) (min, max float64) {
+	if workers <= 1 || len(d.Series) < 2 {
+		return d.GlobalMinMax()
+	}
+	if len(d.Series) == 0 || d.T() == 0 {
+		panic("timeseries: GlobalMinMax of empty dataset")
+	}
+	shards := parallel.Shards(len(d.Series), workers)
+	mins := make([]float64, len(shards))
+	maxs := make([]float64, len(shards))
+	parallel.ForEachShard(workers, len(d.Series), func(sh int, r parallel.Range) {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range d.Series[r.Lo:r.Hi] {
+			for _, v := range s.Values {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		mins[sh], maxs[sh] = lo, hi
+	})
+	min, max = math.Inf(1), math.Inf(-1)
+	for sh := range shards {
+		if mins[sh] < min {
+			min = mins[sh]
+		}
+		if maxs[sh] > max {
+			max = maxs[sh]
+		}
+	}
+	return min, max
+}
+
 // Normalizer applies and inverts the global min-max normalisation of
 // Eq. 6. Keeping the fitted bounds lets sanitised values be mapped back to
 // physical kWh.
@@ -121,6 +162,13 @@ type Normalizer struct {
 // FitNormalizer computes global min-max bounds over the dataset.
 func FitNormalizer(d *Dataset) Normalizer {
 	min, max := d.GlobalMinMax()
+	return Normalizer{Min: min, Max: max}
+}
+
+// FitNormalizerWorkers is FitNormalizer with the scan sharded across
+// workers; the fitted bounds are identical for every worker count.
+func FitNormalizerWorkers(d *Dataset, workers int) Normalizer {
+	min, max := d.GlobalMinMaxWorkers(workers)
 	return Normalizer{Min: min, Max: max}
 }
 

@@ -25,11 +25,11 @@ func TestValidateAcceptsGood(t *testing.T) {
 
 func TestValidateRejectsBad(t *testing.T) {
 	cases := map[string]*Dataset{
-		"empty":     {Cx: 4, Cy: 4},
-		"bad grid":  {Cx: 0, Cy: 4, Series: []*Series{{Values: []float64{1}}}},
-		"ragged":    {Cx: 4, Cy: 4, Series: []*Series{{Values: []float64{1, 2}}, {Values: []float64{1}}}},
-		"oob x":     {Cx: 4, Cy: 4, Series: []*Series{{Location: Location{4, 0}, Values: []float64{1}}}},
-		"neg y":     {Cx: 4, Cy: 4, Series: []*Series{{Location: Location{0, -1}, Values: []float64{1}}}},
+		"empty":    {Cx: 4, Cy: 4},
+		"bad grid": {Cx: 0, Cy: 4, Series: []*Series{{Values: []float64{1}}}},
+		"ragged":   {Cx: 4, Cy: 4, Series: []*Series{{Values: []float64{1, 2}}, {Values: []float64{1}}}},
+		"oob x":    {Cx: 4, Cy: 4, Series: []*Series{{Location: Location{4, 0}, Values: []float64{1}}}},
+		"neg y":    {Cx: 4, Cy: 4, Series: []*Series{{Location: Location{0, -1}, Values: []float64{1}}}},
 	}
 	for name, d := range cases {
 		if err := d.Validate(); err == nil {
@@ -52,6 +52,29 @@ func TestGlobalMinMax(t *testing.T) {
 	min, max := d.GlobalMinMax()
 	if min != 1 || max != 6 {
 		t.Fatalf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestGlobalMinMaxWorkersMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := &Dataset{Cx: 8, Cy: 8}
+	for i := 0; i < 23; i++ {
+		s := &Series{Location: Location{X: i % 8, Y: (i / 8) % 8}, Values: make([]float64, 17)}
+		for j := range s.Values {
+			s.Values[j] = rng.NormFloat64() * 10
+		}
+		d.Series = append(d.Series, s)
+	}
+	wantMin, wantMax := d.GlobalMinMax()
+	for _, workers := range []int{0, 1, 2, 3, 7, 50} {
+		min, max := d.GlobalMinMaxWorkers(workers)
+		if min != wantMin || max != wantMax {
+			t.Fatalf("workers=%d: (%v,%v), want (%v,%v)", workers, min, max, wantMin, wantMax)
+		}
+		n := FitNormalizerWorkers(d, workers)
+		if n.Min != wantMin || n.Max != wantMax {
+			t.Fatalf("workers=%d: normalizer (%v,%v)", workers, n.Min, n.Max)
+		}
 	}
 }
 
