@@ -16,26 +16,24 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("dataset", "CER", "dataset spec: CER|CA|MI|TX")
-		layout = flag.String("layout", "uniform", "household layout: uniform|normal|losangeles")
-		grid   = flag.Int("grid", 32, "square grid side (power of two)")
-		hours  = flag.Int("hours", 220, "number of hourly readings per household")
-		seed   = flag.Int64("seed", 1, "random seed")
-		out    = flag.String("o", "", "output file (default stdout)")
+		name       = flag.String("dataset", "CER", "dataset spec: CER|CA|MI|TX")
+		layout     = flag.String("layout", "uniform", "household layout: uniform|normal|losangeles")
+		grid       = flag.Int("grid", 32, "square grid side (power of two)")
+		hours      = flag.Int("hours", 220, "number of hourly readings per household")
+		seed       = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("o", "", "output file (default stdout)")
 		households = flag.Int("households", 0, "override spec household count (0 keeps spec)")
 	)
 	flag.Parse()
 
-	spec, err := datasets.ByName(*name)
+	// Validate everything up front: a bad flag should die here with one
+	// usage line, not as a panic three packages deep into generation.
+	spec, lay, err := validateFlags(*name, *layout, *grid, *hours, *households)
 	if err != nil {
 		fatal(err)
 	}
 	if *households > 0 {
 		spec.Households = *households
-	}
-	lay, err := datasets.ParseLayout(*layout)
-	if err != nil {
-		fatal(err)
 	}
 	d := spec.Generate(lay, *grid, *grid, *hours, *seed)
 
@@ -54,6 +52,32 @@ func main() {
 	st := datasets.Summarize(d)
 	fmt.Fprintf(os.Stderr, "stpt-datagen: %s/%s %d households x %d hours: mean %.2f kWh, std %.2f, max %.2f\n",
 		spec.Name, lay, st.Households, *hours, st.Mean, st.Std, st.Max)
+}
+
+// validateFlags checks every flag before any work happens, returning the
+// resolved spec and layout or a one-line usage error.
+func validateFlags(name, layout string, grid, hours, households int) (datasets.Spec, datasets.Layout, error) {
+	spec, err := datasets.ByName(name)
+	if err != nil {
+		return datasets.Spec{}, 0, fmt.Errorf("-dataset: %w", err)
+	}
+	lay, err := datasets.ParseLayout(layout)
+	if err != nil {
+		return datasets.Spec{}, 0, fmt.Errorf("-layout: %w", err)
+	}
+	if grid <= 0 || grid&(grid-1) != 0 {
+		return datasets.Spec{}, 0, fmt.Errorf("-grid %d: want a positive power of two (the quadtree partitioner halves the grid per level)", grid)
+	}
+	if grid > datasets.MaxGridSide {
+		return datasets.Spec{}, 0, fmt.Errorf("-grid %d: exceeds supported side %d", grid, datasets.MaxGridSide)
+	}
+	if hours <= 0 {
+		return datasets.Spec{}, 0, fmt.Errorf("-hours %d: want a positive number of readings", hours)
+	}
+	if households < 0 {
+		return datasets.Spec{}, 0, fmt.Errorf("-households %d: want a positive count, or 0 to keep the %s spec's %d", households, spec.Name, spec.Households)
+	}
+	return spec, lay, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags: every malformed flag combination must be refused
+// with the offending flag named, before any generation work runs —
+// previously a non-power-of-two -grid panicked deep in the quadtree.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                    string
+		dataset, layout         string
+		grid, hours, households int
+		ok                      bool
+		wantMention             string
+	}{
+		{"defaults", "CER", "uniform", 32, 220, 0, true, ""},
+		{"la-alias", "CA", "la", 16, 24, 100, true, ""},
+		{"unknown-dataset", "SF", "uniform", 32, 220, 0, false, "-dataset"},
+		{"unknown-layout", "CER", "spiral", 32, 220, 0, false, "-layout"},
+		{"grid-not-power-of-two", "CER", "uniform", 24, 220, 0, false, "-grid"},
+		{"grid-zero", "CER", "uniform", 0, 220, 0, false, "-grid"},
+		{"grid-negative", "CER", "uniform", -8, 220, 0, false, "-grid"},
+		{"grid-absurd", "CER", "uniform", 1 << 30, 220, 0, false, "-grid"},
+		{"hours-zero", "CER", "uniform", 32, 0, 0, false, "-hours"},
+		{"hours-negative", "CER", "uniform", 32, -5, 0, false, "-hours"},
+		{"households-negative", "CER", "uniform", 32, 220, -1, false, "-households"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, _, err := validateFlags(c.dataset, c.layout, c.grid, c.hours, c.households)
+			if c.ok {
+				if err != nil {
+					t.Fatalf("rejected valid flags: %v", err)
+				}
+				if spec.Name != c.dataset {
+					t.Fatalf("resolved spec %q, want %q", spec.Name, c.dataset)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("accepted invalid flags")
+			}
+			if !strings.Contains(err.Error(), c.wantMention) {
+				t.Errorf("error %q does not name %s", err, c.wantMention)
+			}
+		})
+	}
+}

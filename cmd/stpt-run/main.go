@@ -139,16 +139,9 @@ func main() {
 		}
 		w = outFile
 	}
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "x,y,t,value")
-	for t := 0; t < release.Ct; t++ {
-		for y := 0; y < release.Cy; y++ {
-			for x := 0; x < release.Cx; x++ {
-				fmt.Fprintf(bw, "%d,%d,%d,%g\n", x, y, t, release.At(x, y, t))
-			}
-		}
-	}
-	if err := bw.Flush(); err != nil {
+	// The shared writer keeps this format and stpt-serve's loader in
+	// lockstep; see datasets.LoadMatrixCSV.
+	if err := datasets.SaveMatrixCSV(release, w); err != nil {
 		fatalf("%v", err)
 	}
 	// A deferred Close would swallow write-back errors (full disk, NFS);

@@ -1,0 +1,108 @@
+// Command stpt-serve is the query-serving daemon over published DP
+// releases: it loads one or more sanitised matrices and answers
+// 3-orthotope range queries over HTTP with load shedding, per-request
+// deadlines, panic containment, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	stpt-datagen -dataset CA -grid 16 -hours 60 > ca.csv
+//	stpt-run -in ca.csv -ttrain 30 -alg stpt -o ca-release.csv
+//	stpt-serve -load ca=ca-release.csv -addr :8080
+//	curl 'localhost:8080/query?d=ca&x0=0&x1=3&y0=0&y1=3&t0=0&t1=9'
+//
+// Endpoints: /query (range queries), /datasets (loaded releases),
+// /healthz (liveness), /readyz (readiness; 503 while saturated or
+// draining).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+func main() {
+	var loads []string
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		gridSide   = flag.Int("grid", 0, "grid side for household-CSV inputs (0 = infer power-of-two)")
+		capacity   = flag.Int("capacity", 0, "max concurrent queries (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "admission queue depth beyond capacity (0 = 2x capacity)")
+		timeout    = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 10*time.Second, "cap on client-requested ?timeout=")
+		drain      = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		chaos      = flag.String("chaos", "", "fault-injection spec for robustness testing, e.g. slow=50ms,panic=100 (see internal/serve.ChaosInjector)")
+	)
+	flag.Func("load", "release to serve as name=path (repeatable); path is a stpt-run cell CSV or a stpt-datagen household CSV", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+	if len(loads) == 0 {
+		fatalf("no releases: pass at least one -load name=path")
+	}
+
+	store := serve.NewStore()
+	for _, l := range loads {
+		name, path, ok := strings.Cut(l, "=")
+		if !ok {
+			// Bare path: derive the release name from the file stem.
+			path = l
+			name = strings.TrimSuffix(filepath.Base(l), filepath.Ext(l))
+		}
+		if name == "" || path == "" {
+			fatalf("-load %q: want name=path", l)
+		}
+		if err := store.LoadFile(name, path, *gridSide, *gridSide); err != nil {
+			fatalf("%v", err)
+		}
+		rel, _ := store.Get(name)
+		fmt.Fprintf(os.Stderr, "stpt-serve: loaded %q from %s: %dx%dx%d, total %.4g\n",
+			name, path, rel.Matrix.Cx, rel.Matrix.Cy, rel.Matrix.Ct, rel.Matrix.Total())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *chaos != "" {
+		in, err := serve.ChaosInjector(*chaos)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ctx = resilience.WithInjector(ctx, in)
+		fmt.Fprintf(os.Stderr, "stpt-serve: CHAOS MODE: %s\n", *chaos)
+	}
+
+	s := serve.New(ctx, store, serve.Config{
+		Capacity:       *capacity,
+		Queue:          *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drain,
+		RetryAfter:     *retryAfter,
+	})
+	err := s.ListenAndRun(ctx, *addr, func(a net.Addr) {
+		cfg := s.Config()
+		fmt.Fprintf(os.Stderr, "stpt-serve: listening on %s (capacity %d, queue %d, default timeout %s)\n",
+			a, cfg.Capacity, cfg.Queue, cfg.DefaultTimeout)
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "stpt-serve: drained cleanly")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stpt-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

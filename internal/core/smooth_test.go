@@ -176,9 +176,9 @@ func buildConstantModel(t *testing.T, rng *rand.Rand) *constModel {
 // constModel is a trivial nn.Model stub predicting 1.0.
 type constModel struct{}
 
-func (c *constModel) Name() string                                  { return "const" }
-func (c *constModel) WindowSize() int                               { return 4 }
-func (c *constModel) CtxSize() int                                  { return 3 }
-func (c *constModel) Params() []*nn.Param                          { return nil }
-func (c *constModel) Forward(w, ctx []float64) (float64, any)       { return 1.0, nil }
-func (c *constModel) Backward(cache any, d float64)                 {}
+func (c *constModel) Name() string                            { return "const" }
+func (c *constModel) WindowSize() int                         { return 4 }
+func (c *constModel) CtxSize() int                            { return 3 }
+func (c *constModel) Params() []*nn.Param                     { return nil }
+func (c *constModel) Forward(w, ctx []float64) (float64, any) { return 1.0, nil }
+func (c *constModel) Backward(cache any, d float64)           {}

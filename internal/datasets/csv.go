@@ -10,6 +10,12 @@ import (
 	"repro/internal/timeseries"
 )
 
+// MaxGridSide bounds the spatial coordinates any loader accepts. Real
+// deployments use sides of at most a few thousand cells; the cap exists
+// so hostile or corrupt inputs cannot drive the power-of-two side
+// inference into integer overflow or absurd allocations.
+const MaxGridSide = 1 << 20
+
 // SaveCSV writes a dataset as CSV: a header row `x,y,v0,v1,...`, then one
 // row per household.
 func SaveCSV(d *timeseries.Dataset, w io.Writer) error {
@@ -71,6 +77,12 @@ func LoadCSV(r io.Reader, name string, cx, cy int) (*timeseries.Dataset, error) 
 		}
 		if x < 0 || y < 0 {
 			return nil, fmt.Errorf("datasets: row %d has negative location (%d,%d)", i+2, x, y)
+		}
+		// Locations also bound the inferred grid side below; an absurd
+		// coordinate would overflow the power-of-two search (or demand a
+		// multi-exabyte matrix), so refuse it at the boundary.
+		if x >= MaxGridSide || y >= MaxGridSide {
+			return nil, fmt.Errorf("datasets: row %d location (%d,%d) beyond supported grid side %d", i+2, x, y, MaxGridSide)
 		}
 		if x > maxX {
 			maxX = x

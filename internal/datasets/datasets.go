@@ -294,8 +294,8 @@ func clampLoc(x, y float64, cx, cy int) timeseries.Location {
 
 // Stats summarises a dataset the way Table 2 does.
 type Stats struct {
-	Households            int
-	Mean, Std, Max        float64
+	Households     int
+	Mean, Std, Max float64
 }
 
 // Summarize computes Table 2-style statistics.

@@ -174,14 +174,14 @@ func TestLoadCSVInfersGrid(t *testing.T) {
 
 func TestLoadCSVRejectsMalformed(t *testing.T) {
 	cases := []string{
-		"",                         // empty
-		"x,y,v0\n",                 // header only
-		"x,y,v0\n1,2\n",            // short row
-		"x,y,v0\na,2,3\n",          // bad x
-		"x,y,v0\n1,b,3\n",          // bad y
-		"x,y,v0\n1,2,zz\n",         // bad value
-		"x,y,v0\n-1,2,3\n",         // negative location
-		"x,y\n1,2\n",               // no value columns
+		"",                 // empty
+		"x,y,v0\n",         // header only
+		"x,y,v0\n1,2\n",    // short row
+		"x,y,v0\na,2,3\n",  // bad x
+		"x,y,v0\n1,b,3\n",  // bad y
+		"x,y,v0\n1,2,zz\n", // bad value
+		"x,y,v0\n-1,2,3\n", // negative location
+		"x,y\n1,2\n",       // no value columns
 	}
 	for i, c := range cases {
 		if _, err := LoadCSV(strings.NewReader(c), "t", 0, 0); err == nil {

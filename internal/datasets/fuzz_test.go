@@ -1,0 +1,53 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV hammers the household-CSV loader with arbitrary bytes. The
+// invariant under fuzz is containment, not success: LoadCSV may reject
+// input with an error, but it must never panic, hang, or hand back a
+// dataset that fails its own Validate — and every accepted reading must
+// be finite. The corpus seeds cover the shapes the unit tests exercise
+// (valid files, malformed rows, non-finite readings, huge fields) so the
+// fuzzer starts from structurally interesting inputs. Historical catch:
+// a row with x ≈ 2^62 drove the power-of-two side inference into signed
+// overflow and an infinite loop before MaxGridSide bounded locations.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add([]byte("x,y,v0,v1\n0,0,1.5,2\n1,1,0,3\n"))            // valid
+	f.Add([]byte("x,y,v0\n0,0,1\n7,3,2\n"))                     // valid, inferred 8x8 grid
+	f.Add([]byte("x,y,v0,v1\n0,0,1.5,NaN\n"))                   // non-finite reading
+	f.Add([]byte("x,y,v0,v1\n0,0,+Inf,2\n"))                    // non-finite reading
+	f.Add([]byte("x,y,v0,v1\n0,0,1\n"))                         // truncated row
+	f.Add([]byte("x,y,v0,v1\n0,0,1,2,3\n"))                     // oversized row
+	f.Add([]byte("x,y,v0\nleft,top,much\n"))                    // non-numeric fields
+	f.Add([]byte("x,y,v0\n-1,0,1\n"))                           // negative location
+	f.Add([]byte("x,y,v0\n4611686018427387905,0,1\n"))          // overflow-inducing x
+	f.Add([]byte("x,y,v0\n0,0,1e309\n"))                        // float overflow to +Inf
+	f.Add([]byte("x,y,v0\n0,0," + strings.Repeat("9", 400)))    // huge numeric field
+	f.Add([]byte("x,y," + strings.Repeat("v,", 300) + "v\n"))   // very wide header
+	f.Add([]byte("\"x\",\"y\",\"v0\"\n\"0\",\"0\",\"1.25\"\n")) // quoted fields
+	f.Add([]byte(""))                                           // empty
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := LoadCSV(bytes.NewReader(data), "fuzz", 0, 0)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails Validate: %v", err)
+		}
+		if d.Cx <= 0 || d.Cy <= 0 || d.Cx > MaxGridSide || d.Cy > MaxGridSide {
+			t.Fatalf("accepted dataset has out-of-range grid %dx%d", d.Cx, d.Cy)
+		}
+		for _, s := range d.Series {
+			for _, v := range s.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted dataset contains non-finite reading %v", v)
+				}
+			}
+		}
+	})
+}

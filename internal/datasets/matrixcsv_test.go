@@ -1,0 +1,99 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// TestMatrixCSVRoundTrip: Save then Load must reproduce the matrix
+// exactly, including negative (DP-noised) cells.
+func TestMatrixCSVRoundTrip(t *testing.T) {
+	m := grid.NewMatrix(3, 2, 4)
+	for i := 0; i < m.Len(); i++ {
+		m.Data()[i] = float64(i)*1.5 - 7 // includes negatives
+	}
+	var sb strings.Builder
+	if err := SaveMatrixCSV(m, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrixCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cx != m.Cx || got.Cy != m.Cy || got.Ct != m.Ct {
+		t.Fatalf("dimensions %dx%dx%d, want %dx%dx%d", got.Cx, got.Cy, got.Ct, m.Cx, m.Cy, m.Ct)
+	}
+	for i := range m.Data() {
+		if got.Data()[i] != m.Data()[i] {
+			t.Fatalf("cell %d: %g, want %g", i, got.Data()[i], m.Data()[i])
+		}
+	}
+}
+
+// TestLoadMatrixCSVRejects covers the refusal paths: malformed fields,
+// non-finite values, out-of-range coordinates, and dimension blowups.
+func TestLoadMatrixCSVRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"header-only":     "x,y,t,value\n",
+		"wrong-header":    "a,b,c\n0,0,1\n",
+		"short-row":       "x,y,t,value\n0,0,1\n",
+		"long-row":        "x,y,t,value\n0,0,1,2,3\n",
+		"bad-x":           "x,y,t,value\nleft,0,0,1\n",
+		"bad-t":           "x,y,t,value\n0,0,soon,1\n",
+		"negative-coord":  "x,y,t,value\n0,-1,0,1\n",
+		"nan-value":       "x,y,t,value\n0,0,0,NaN\n",
+		"inf-value":       "x,y,t,value\n0,0,0,+Inf\n",
+		"huge-coord":      "x,y,t,value\n9999999,0,0,1\n",
+		"cell-product":    "x,y,t,value\n1000000,0,0,1\n0,1000000,0,1\n0,0,1000000,1\n",
+		"value-not-float": "x,y,t,value\n0,0,0,lots\n",
+	}
+	for name, c := range cases {
+		if _, err := LoadMatrixCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("%s: accepted %q", name, c)
+		}
+	}
+}
+
+// TestLoadMatrixCSVAccumulatesDuplicates: duplicate cells sum, matching
+// AddAt semantics, and absent cells stay zero.
+func TestLoadMatrixCSVAccumulatesDuplicates(t *testing.T) {
+	in := "x,y,t,value\n1,1,1,2.5\n1,1,1,1.5\n"
+	m, err := LoadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cx != 2 || m.Cy != 2 || m.Ct != 2 {
+		t.Fatalf("dimensions %dx%dx%d, want 2x2x2", m.Cx, m.Cy, m.Ct)
+	}
+	if got := m.At(1, 1, 1); got != 4 {
+		t.Fatalf("duplicate cell = %g, want 4", got)
+	}
+	if got := m.At(0, 0, 0); got != 0 {
+		t.Fatalf("absent cell = %g, want 0", got)
+	}
+}
+
+// TestSniffCSV distinguishes the two header shapes and refuses others.
+func TestSniffCSV(t *testing.T) {
+	cases := []struct {
+		header []string
+		want   string
+		ok     bool
+	}{
+		{[]string{"x", "y", "t", "value"}, "matrix", true},
+		{[]string{"x", "y", "v0", "v1"}, "dataset", true},
+		{[]string{"x", "y", "v0"}, "dataset", true},
+		{[]string{"x", "y"}, "", false},
+		{[]string{"a", "b", "c", "d"}, "", false},
+		{nil, "", false},
+	}
+	for _, c := range cases {
+		got, err := SniffCSV(c.header)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("SniffCSV(%v) = %q, %v; want %q, ok=%v", c.header, got, err, c.want, c.ok)
+		}
+	}
+}

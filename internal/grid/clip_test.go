@@ -1,0 +1,76 @@
+package grid_test
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/grid/gridtest"
+)
+
+const (
+	tcx = 8
+	tcy = 6
+	tct = 10
+)
+
+// TestQueryEdgeCases runs the shared edge-case table against the
+// grid-level validators: ValidIn must match the strict verdict and
+// Canonicalize+Clip must match the lenient one.
+func TestQueryEdgeCases(t *testing.T) {
+	for _, c := range gridtest.Cases(tcx, tcy, tct) {
+		t.Run(c.Name, func(t *testing.T) {
+			if got := c.In.ValidIn(tcx, tcy, tct); got != c.StrictOK {
+				t.Errorf("ValidIn = %v, want %v", got, c.StrictOK)
+			}
+			clipped, ok := c.In.Canonicalize().Clip(tcx, tcy, tct)
+			if ok != c.ClipOK {
+				t.Fatalf("Clip ok = %v, want %v", ok, c.ClipOK)
+			}
+			if !ok {
+				return
+			}
+			if clipped != c.Clipped {
+				t.Errorf("Clipped = %+v, want %+v", clipped, c.Clipped)
+			}
+			if !clipped.ValidIn(tcx, tcy, tct) {
+				t.Errorf("clipped query %+v is not strictly valid", clipped)
+			}
+		})
+	}
+}
+
+// TestClipAgreesWithRangeSum: a clipped query must answer identically to
+// summing the original query's in-box cells by brute force.
+func TestClipAgreesWithRangeSum(t *testing.T) {
+	m := grid.NewMatrix(tcx, tcy, tct)
+	for t0 := 0; t0 < tct; t0++ {
+		for y := 0; y < tcy; y++ {
+			for x := 0; x < tcx; x++ {
+				m.Set(x, y, t0, float64(1+x+10*y+100*t0))
+			}
+		}
+	}
+	p := grid.NewPrefixSum(m)
+	for _, c := range gridtest.Cases(tcx, tcy, tct) {
+		if !c.ClipOK {
+			continue
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			want := m.RangeSum(c.Clipped)
+			clipped, _ := c.In.Canonicalize().Clip(tcx, tcy, tct)
+			if got := p.RangeSum(clipped); got != want {
+				t.Errorf("prefix sum %g, want %g", got, want)
+			}
+		})
+	}
+}
+
+// TestPrefixSumDims: the index must report the dimensions of the matrix
+// it was built from.
+func TestPrefixSumDims(t *testing.T) {
+	p := grid.NewPrefixSum(grid.NewMatrix(3, 4, 5))
+	cx, cy, ct := p.Dims()
+	if cx != 3 || cy != 4 || ct != 5 {
+		t.Fatalf("Dims = %d,%d,%d, want 3,4,5", cx, cy, ct)
+	}
+}

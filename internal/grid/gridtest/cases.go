@@ -1,0 +1,99 @@
+// Package gridtest holds the shared range-query edge-case table. The same
+// cases drive the grid.Query clip/validate unit tests, the single-query
+// evaluation tests in internal/query, and the request-validation tests of
+// the serving daemon, so all three layers agree on exactly which queries
+// are strictly valid, which are salvageable by canonicalize+clip, and
+// which must be refused.
+package gridtest
+
+import "repro/internal/grid"
+
+// Case is one edge-case query against a Cx x Cy x Ct box.
+type Case struct {
+	Name string
+	In   grid.Query
+	// StrictOK: In lies inside the box as-is (server default semantics —
+	// anything else is a 400).
+	StrictOK bool
+	// ClipOK: In survives Canonicalize followed by Clip (server clip=1
+	// semantics). When false the intersection is empty and even lenient
+	// handling must refuse the query.
+	ClipOK bool
+	// Clipped is the canonicalized-and-clipped query; meaningful only
+	// when ClipOK.
+	Clipped grid.Query
+}
+
+// Cases returns the edge-case table for a cx x cy x ct box. Dimensions
+// must each be at least 4 so boundary and interior cases stay distinct.
+func Cases(cx, cy, ct int) []Case {
+	full := grid.Query{X0: 0, X1: cx - 1, Y0: 0, Y1: cy - 1, T0: 0, T1: ct - 1}
+	return []Case{
+		{
+			Name:     "full-box",
+			In:       full,
+			StrictOK: true, ClipOK: true, Clipped: full,
+		},
+		{
+			Name:     "single-cell-origin",
+			In:       grid.Query{},
+			StrictOK: true, ClipOK: true, Clipped: grid.Query{},
+		},
+		{
+			Name:     "single-cell-far-corner",
+			In:       grid.Query{X0: cx - 1, X1: cx - 1, Y0: cy - 1, Y1: cy - 1, T0: ct - 1, T1: ct - 1},
+			StrictOK: true, ClipOK: true,
+			Clipped: grid.Query{X0: cx - 1, X1: cx - 1, Y0: cy - 1, Y1: cy - 1, T0: ct - 1, T1: ct - 1},
+		},
+		{
+			Name:     "interior",
+			In:       grid.Query{X0: 1, X1: 2, Y0: 1, Y1: 2, T0: 1, T1: 2},
+			StrictOK: true, ClipOK: true,
+			Clipped: grid.Query{X0: 1, X1: 2, Y0: 1, Y1: 2, T0: 1, T1: 2},
+		},
+		{
+			Name:     "inverted-x",
+			In:       grid.Query{X0: 2, X1: 1, Y0: 0, Y1: 1, T0: 0, T1: 1},
+			StrictOK: false, ClipOK: true,
+			Clipped: grid.Query{X0: 1, X1: 2, Y0: 0, Y1: 1, T0: 0, T1: 1},
+		},
+		{
+			Name:     "inverted-all-axes",
+			In:       grid.Query{X0: cx - 1, X1: 0, Y0: cy - 1, Y1: 0, T0: ct - 1, T1: 0},
+			StrictOK: false, ClipOK: true, Clipped: full,
+		},
+		{
+			Name:     "clipped-at-upper-bounds",
+			In:       grid.Query{X0: cx - 2, X1: cx + 5, Y0: cy - 2, Y1: cy + 5, T0: ct - 2, T1: ct + 5},
+			StrictOK: false, ClipOK: true,
+			Clipped: grid.Query{X0: cx - 2, X1: cx - 1, Y0: cy - 2, Y1: cy - 1, T0: ct - 2, T1: ct - 1},
+		},
+		{
+			Name:     "clipped-at-lower-bounds",
+			In:       grid.Query{X0: -3, X1: 1, Y0: -3, Y1: 1, T0: -3, T1: 1},
+			StrictOK: false, ClipOK: true,
+			Clipped: grid.Query{X0: 0, X1: 1, Y0: 0, Y1: 1, T0: 0, T1: 1},
+		},
+		{
+			Name:     "superset-of-box",
+			In:       grid.Query{X0: -10, X1: cx + 10, Y0: -10, Y1: cy + 10, T0: -10, T1: ct + 10},
+			StrictOK: false, ClipOK: true, Clipped: full,
+		},
+		{
+			Name:     "zero-volume-above-x",
+			In:       grid.Query{X0: cx, X1: cx + 3, Y0: 0, Y1: 1, T0: 0, T1: 1},
+			StrictOK: false, ClipOK: false,
+		},
+		{
+			Name:     "zero-volume-below-t",
+			In:       grid.Query{X0: 0, X1: 1, Y0: 0, Y1: 1, T0: -5, T1: -1},
+			StrictOK: false, ClipOK: false,
+		},
+		{
+			Name: "zero-volume-inverted-outside",
+			// Canonicalizes to [cy, cy+2] in y: still past the edge.
+			In:       grid.Query{X0: 0, X1: 1, Y0: cy + 2, Y1: cy, T0: 0, T1: 1},
+			StrictOK: false, ClipOK: false,
+		},
+	}
+}

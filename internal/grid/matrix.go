@@ -126,23 +126,74 @@ func (m *Matrix) Scale(s float64) {
 }
 
 // Query is a 3-orthotope range query (Definition 3) with inclusive bounds
-// in all three dimensions.
+// in all three dimensions. The JSON tags define the wire shape the
+// serving daemon exposes, so they are part of the public API.
 type Query struct {
-	X0, X1 int // 0 <= X0 <= X1 < Cx
-	Y0, Y1 int
-	T0, T1 int
+	X0 int `json:"x0"` // 0 <= X0 <= X1 < Cx
+	X1 int `json:"x1"`
+	Y0 int `json:"y0"`
+	Y1 int `json:"y1"`
+	T0 int `json:"t0"`
+	T1 int `json:"t1"`
 }
 
 // Valid reports whether the query lies within the matrix bounds.
-func (q Query) Valid(m *Matrix) bool {
-	return q.X0 >= 0 && q.X0 <= q.X1 && q.X1 < m.Cx &&
-		q.Y0 >= 0 && q.Y0 <= q.Y1 && q.Y1 < m.Cy &&
-		q.T0 >= 0 && q.T0 <= q.T1 && q.T1 < m.Ct
-}
+func (q Query) Valid(m *Matrix) bool { return q.ValidIn(m.Cx, m.Cy, m.Ct) }
 
 // Volume returns the number of cells the query covers.
 func (q Query) Volume() int {
 	return (q.X1 - q.X0 + 1) * (q.Y1 - q.Y0 + 1) * (q.T1 - q.T0 + 1)
+}
+
+// ValidIn reports whether the query lies within a cx x cy x ct box — the
+// matrix-free form of Valid, shared by callers that only know dimensions
+// (e.g. a prefix-sum index or a request validator).
+func (q Query) ValidIn(cx, cy, ct int) bool {
+	return q.X0 >= 0 && q.X0 <= q.X1 && q.X1 < cx &&
+		q.Y0 >= 0 && q.Y0 <= q.Y1 && q.Y1 < cy &&
+		q.T0 >= 0 && q.T0 <= q.T1 && q.T1 < ct
+}
+
+// Canonicalize returns the query with each axis's bounds ordered
+// (X0 <= X1, Y0 <= Y1, T0 <= T1). It does not touch out-of-box bounds;
+// combine with Clip for full normalisation.
+func (q Query) Canonicalize() Query {
+	if q.X0 > q.X1 {
+		q.X0, q.X1 = q.X1, q.X0
+	}
+	if q.Y0 > q.Y1 {
+		q.Y0, q.Y1 = q.Y1, q.Y0
+	}
+	if q.T0 > q.T1 {
+		q.T0, q.T1 = q.T1, q.T0
+	}
+	return q
+}
+
+// Clip intersects the query with the box [0,cx) x [0,cy) x [0,ct) and
+// reports whether any cells remain. Inverted axes are treated as empty,
+// not reordered — Canonicalize first if client bound order is untrusted.
+// When ok is false the returned query is meaningless.
+func (q Query) Clip(cx, cy, ct int) (clipped Query, ok bool) {
+	if q.X0 < 0 {
+		q.X0 = 0
+	}
+	if q.Y0 < 0 {
+		q.Y0 = 0
+	}
+	if q.T0 < 0 {
+		q.T0 = 0
+	}
+	if q.X1 >= cx {
+		q.X1 = cx - 1
+	}
+	if q.Y1 >= cy {
+		q.Y1 = cy - 1
+	}
+	if q.T1 >= ct {
+		q.T1 = ct - 1
+	}
+	return q, q.X0 <= q.X1 && q.Y0 <= q.Y1 && q.T0 <= q.T1
 }
 
 // RangeSum answers the query by direct accumulation. Use a PrefixSum index

@@ -32,11 +32,12 @@ func NewPrefixSum(m *Matrix) *PrefixSum {
 	return p
 }
 
+// Dims returns the dimensions of the indexed matrix.
+func (p *PrefixSum) Dims() (cx, cy, ct int) { return p.cx, p.cy, p.ct }
+
 // RangeSum answers the inclusive-bounds query in O(1).
 func (p *PrefixSum) RangeSum(q Query) float64 {
-	if q.X0 < 0 || q.X0 > q.X1 || q.X1 >= p.cx ||
-		q.Y0 < 0 || q.Y0 > q.Y1 || q.Y1 >= p.cy ||
-		q.T0 < 0 || q.T0 > q.T1 || q.T1 >= p.ct {
+	if !q.ValidIn(p.cx, p.cy, p.ct) {
 		panic(fmt.Sprintf("grid: query %+v outside %dx%dx%d", q, p.cx, p.cy, p.ct))
 	}
 	sx, sy := p.cx+1, p.cy+1

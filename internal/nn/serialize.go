@@ -11,8 +11,8 @@ import (
 // reloaded without retraining (weights of a DP-trained model are
 // themselves DP by post-processing, so storing them is safe).
 type Snapshot struct {
-	Model  string            `json:"model"`
-	Params []ParamSnapshot   `json:"params"`
+	Model  string          `json:"model"`
+	Params []ParamSnapshot `json:"params"`
 }
 
 // ParamSnapshot is one tensor's serialised form.

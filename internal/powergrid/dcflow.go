@@ -36,7 +36,7 @@ type FlowNetwork struct {
 
 // Flow is a solved line flow.
 type Flow struct {
-	Line   *Line
+	Line    *Line
 	PowerKW float64
 	// Overloaded reports whether |PowerKW| exceeds the line limit.
 	Overloaded bool

@@ -60,11 +60,11 @@ func (n *Neighborhood) Contains(x, y int) bool {
 
 // Level groups the 4^Depth neighbourhoods sharing one time segment.
 type Level struct {
-	Depth          int
-	TimeStart      int // inclusive
-	TimeEnd        int // exclusive
-	Sensitivity    float64
-	Neighborhoods  []*Neighborhood
+	Depth         int
+	TimeStart     int // inclusive
+	TimeEnd       int // exclusive
+	Sensitivity   float64
+	Neighborhoods []*Neighborhood
 }
 
 // Tree is the constructed spatio-temporal quadtree.

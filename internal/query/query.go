@@ -149,6 +149,21 @@ func EvaluateWorkers(truth, release *grid.Matrix, queries []grid.Query, floor fl
 	return sum / float64(n)
 }
 
+// Answer evaluates a single range query against an indexed release: the
+// query is canonicalised (bound order is untrusted) and clipped to the
+// index's box, then answered in O(1). ok is false — and the sum 0 — when
+// the query does not intersect the box at all. This is the evaluation
+// path the serving daemon uses per request, factored here so the sweep
+// code and the server cannot drift apart on query semantics.
+func Answer(p *grid.PrefixSum, q grid.Query) (sum float64, ok bool) {
+	cx, cy, ct := p.Dims()
+	clipped, ok := q.Canonicalize().Clip(cx, cy, ct)
+	if !ok {
+		return 0, false
+	}
+	return p.RangeSum(clipped), true
+}
+
 // GenerateSeeded is Generate with a fresh PRNG from the seed — convenient
 // for callers that don't manage a *rand.Rand.
 func GenerateSeeded(seed int64, class Class, cx, cy, ct, count int) []grid.Query {

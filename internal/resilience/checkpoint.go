@@ -48,15 +48,29 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(raw, &f); err != nil {
-		return nil, fmt.Errorf("resilience: corrupt checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("resilience: corrupt checkpoint %s%s: %w", path, preserveCorrupt(path, raw), err)
 	}
 	if f.Version != checkpointVersion {
-		return nil, fmt.Errorf("resilience: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+		return nil, fmt.Errorf("resilience: checkpoint %s%s has version %d, want %d", path, preserveCorrupt(path, raw), f.Version, checkpointVersion)
 	}
 	if f.Cells != nil {
 		c.done = f.Cells
 	}
 	return c, nil
+}
+
+// preserveCorrupt copies an unreadable checkpoint to <path>.corrupt so
+// the operator can salvage partial results (the cells map is plain JSON
+// and usually mostly intact) before deciding to restart the sweep. It
+// returns an error-message fragment naming the copy, or empty when the
+// copy itself failed — preservation is best-effort and must never mask
+// the original corruption error.
+func preserveCorrupt(path string, raw []byte) string {
+	dst := path + ".corrupt"
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		return ""
+	}
+	return " (preserved as " + dst + ")"
 }
 
 // NewMemoryCheckpoint returns a checkpoint that never touches disk.

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorruptCheckpointPreserved: a truncated-JSON checkpoint must fail
+// to open AND leave a byte-identical copy at <path>.corrupt so the
+// operator can salvage the intact cells by hand.
+func TestCorruptCheckpointPreserved(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	// A realistic mid-write truncation: valid prefix, chopped tail.
+	bad := []byte(`{"version":1,"cells":{"fig6/CER/uniform/stpt/rep0":{"mre":12.5},"fig6/CER/un`)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenCheckpoint(path)
+	if err == nil {
+		t.Fatal("opened a truncated checkpoint")
+	}
+	if !strings.Contains(err.Error(), path+".corrupt") {
+		t.Errorf("error %q does not name the preserved copy", err)
+	}
+	saved, rerr := os.ReadFile(path + ".corrupt")
+	if rerr != nil {
+		t.Fatalf("preserved copy missing: %v", rerr)
+	}
+	if string(saved) != string(bad) {
+		t.Errorf("preserved copy differs from the corrupt original")
+	}
+	// The original stays in place too: preservation copies, it does not
+	// move, so nothing can silently restart over the bad path.
+	if orig, err := os.ReadFile(path); err != nil || string(orig) != string(bad) {
+		t.Errorf("original corrupt file was disturbed: %v", err)
+	}
+}
+
+// TestVersionMismatchPreserved: a future-versioned checkpoint is refused
+// (never silently reinterpreted) and preserved the same way.
+func TestVersionMismatchPreserved(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	bad := []byte(`{"version":99,"cells":{"k":1}}`)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenCheckpoint(path)
+	if err == nil {
+		t.Fatal("opened a version-99 checkpoint")
+	}
+	if !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("error %q does not report the version", err)
+	}
+	if saved, rerr := os.ReadFile(path + ".corrupt"); rerr != nil || string(saved) != string(bad) {
+		t.Errorf("version-mismatched file not preserved: %v", rerr)
+	}
+}
+
+// TestHealthyCheckpointLeavesNoCorruptFile: the preservation path must
+// not fire on clean opens, including the does-not-exist-yet case.
+func TestHealthyCheckpointLeavesNoCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); !os.IsNotExist(err) {
+		t.Errorf(".corrupt file exists after healthy opens: %v", err)
+	}
+}

@@ -22,6 +22,15 @@ const (
 	// FaultCheckpoint fires before a checkpoint cell is recorded, with the
 	// cell key as payload, so tests can kill a sweep mid-write.
 	FaultCheckpoint Fault = "resilience/checkpoint"
+	// FaultServeQuery fires inside the query-serving daemon's handler,
+	// after admission but before evaluation, with the *http.Request as
+	// payload. Hooks simulate slow handlers (block on ctx.Done), handler
+	// crashes (panic), or downstream failures (return an error → 500).
+	FaultServeQuery Fault = "serve/query"
+	// FaultServeDrain fires once when the daemon starts its graceful
+	// drain, under the drain-deadline context. A hook that blocks on
+	// ctx.Done() simulates a mid-drain fault and forces the abort path.
+	FaultServeDrain Fault = "serve/drain"
 )
 
 // Hook is a fault handler. Returning a non-nil error makes the injection

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errShed is returned by the gate when both the capacity slots and the
+// wait queue are full: the request is rejected immediately (429) rather
+// than queued into unbounded latency.
+var errShed = errors.New("serve: at capacity")
+
+// gate is the bounded-concurrency admission controller. It is two nested
+// semaphores: tickets bounds everything the server has accepted (running
+// + queued), slots bounds what actually runs. Acquiring a ticket never
+// blocks — a full ticket pool is the shed signal — while acquiring a
+// slot blocks until a runner finishes or the request's deadline fires.
+// The split keeps the two failure modes distinct: "queue full" sheds with
+// 429 and a Retry-After hint, "queued too long" times out with 504, and
+// neither can hold a connection open unboundedly.
+type gate struct {
+	slots   chan struct{}
+	tickets chan struct{}
+}
+
+func newGate(capacity, queue int) *gate {
+	return &gate{
+		slots:   make(chan struct{}, capacity),
+		tickets: make(chan struct{}, capacity+queue),
+	}
+}
+
+// acquire admits one request. On success it returns an idempotent release
+// function the caller must invoke when the request finishes. On failure
+// it returns errShed (shed immediately) or the context's error (deadline
+// fired while queued).
+func (g *gate) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case g.tickets <- struct{}{}:
+	default:
+		return nil, errShed
+	}
+	select {
+	case g.slots <- struct{}{}:
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				<-g.slots
+				<-g.tickets
+			})
+		}, nil
+	case <-ctx.Done():
+		<-g.tickets
+		return nil, ctx.Err()
+	}
+}
+
+// saturated reports whether the gate is currently shedding — the
+// readiness signal: a saturated server is alive but should stop
+// receiving new traffic from the balancer.
+func (g *gate) saturated() bool { return len(g.tickets) == cap(g.tickets) }
+
+// inflight returns how many requests are admitted (running + queued).
+func (g *gate) inflight() int { return len(g.tickets) }

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// ChaosInjector parses a chaos spec into a fault injector wired to the
+// server's injection points. The spec is a comma-separated list of
+// directives; it backs the stpt-serve -chaos flag and doubles as a
+// compact way for tests to build scenarios:
+//
+//	slow=50ms      every query stalls 50ms (bounded by its deadline)
+//	panic=N        every Nth query panics inside the handler
+//	error=N        every Nth query fails with an injected error (500)
+//	drain-stall=D  the drain hook blocks D (or until the drain deadline)
+//
+// Directives compose; "slow=5ms,panic=100" makes every request slow and
+// every hundredth one crash.
+func ChaosInjector(spec string) (*resilience.Injector, error) {
+	in := resilience.NewInjector()
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: chaos directive %q: want key=value", tok)
+		}
+		switch key {
+		case "slow":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("serve: chaos slow=%q: want a positive duration", val)
+			}
+			in.On(resilience.FaultServeQuery, sleepHook(d))
+		case "panic":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("serve: chaos panic=%q: want a positive count", val)
+			}
+			in.On(resilience.FaultServeQuery, everyNth(n, func() {
+				panic(fmt.Sprintf("chaos: injected panic (every %d queries)", n))
+			}))
+		case "error":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("serve: chaos error=%q: want a positive count", val)
+			}
+			var count atomic.Int64
+			in.On(resilience.FaultServeQuery, func(ctx context.Context, payload any) error {
+				if count.Add(1)%int64(n) == 0 {
+					return fmt.Errorf("chaos: injected failure (every %d queries)", n)
+				}
+				return nil
+			})
+		case "drain-stall":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("serve: chaos drain-stall=%q: want a positive duration", val)
+			}
+			in.On(resilience.FaultServeDrain, sleepHook(d))
+		default:
+			return nil, fmt.Errorf("serve: unknown chaos directive %q (want slow|panic|error|drain-stall)", key)
+		}
+	}
+	return in, nil
+}
+
+// sleepHook blocks for d or until the context dies, whichever is first —
+// the context's error propagates so deadline semantics stay honest.
+func sleepHook(d time.Duration) resilience.Hook {
+	return func(ctx context.Context, payload any) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// everyNth runs fn on every nth call (1-indexed), typically to panic.
+func everyNth(n int, fn func()) resilience.Hook {
+	var count atomic.Int64
+	return func(ctx context.Context, payload any) error {
+		if count.Add(1)%int64(n) == 0 {
+			fn()
+		}
+		return nil
+	}
+}

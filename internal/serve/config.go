@@ -1,0 +1,52 @@
+package serve
+
+import "time"
+
+// Config tunes the robustness envelope of a Server. The zero value is
+// usable: New applies a serving-sane default to every unset field. All
+// limits are deliberately small by default — a query answers in O(1)
+// from the prefix-sum index, so deep queues only add latency, and a
+// shed request (429) is cheaper for everyone than a slow one.
+type Config struct {
+	// Capacity is the maximum number of queries evaluated concurrently.
+	// Defaults to GOMAXPROCS via parallel.Workers(0).
+	Capacity int
+	// Queue is how many admitted-but-waiting requests may sit behind the
+	// Capacity slots before the server sheds load with 429 + Retry-After.
+	// Defaults to 2×Capacity.
+	Queue int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// no ?timeout=. Default 2s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested ?timeout= so one caller
+	// cannot park in a capacity slot indefinitely. Default 10s.
+	MaxTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish before the server force-closes and Run reports a
+	// forced abort. Default 5s.
+	DrainTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults(defaultCapacity int) Config {
+	if c.Capacity <= 0 {
+		c.Capacity = defaultCapacity
+	}
+	if c.Queue <= 0 {
+		c.Queue = 2 * c.Capacity
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}

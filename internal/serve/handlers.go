@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/grid"
+	"repro/internal/query"
+	"repro/internal/resilience"
+)
+
+// errorBody is the structured error envelope every non-200 carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client hanging up mid-body is not actionable
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// queryResponse answers /query.
+type queryResponse struct {
+	Dataset string     `json:"dataset"`
+	Query   grid.Query `json:"query"` // the query actually answered (post-clip)
+	Sum     float64    `json:"sum"`
+	Cells   int        `json:"cells"`
+	Clipped bool       `json:"clipped,omitempty"`
+}
+
+// datasetInfo describes one loaded release for /datasets.
+type datasetInfo struct {
+	Name  string  `json:"name"`
+	Cx    int     `json:"cx"`
+	Cy    int     `json:"cy"`
+	Ct    int     `json:"ct"`
+	Total float64 `json:"total"`
+}
+
+// Handler assembles the full middleware stack:
+//
+//	recoverPanics → mux → (/query: withDeadline → withAdmission → handleQuery)
+//
+// Health endpoints bypass deadline and admission on purpose: a saturated
+// server must still answer its balancer's probes instantly.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.Handle("/query", s.withDeadline(s.withAdmission(http.HandlerFunc(s.handleQuery))))
+	return s.recoverPanics(mux)
+}
+
+// handleHealthz is liveness: the process is up and the handler stack
+// functional. It stays 200 during drain — the process is alive precisely
+// because it is still finishing requests.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is readiness: false (503) while draining or while the
+// admission gate is saturated, so balancers steer new traffic away
+// before it gets shed with 429s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case s.gate.saturated():
+		writeError(w, http.StatusServiceUnavailable, "at capacity")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ready",
+			"inflight": s.gate.inflight(),
+		})
+	}
+}
+
+// handleDatasets lists the loaded releases and their dimensions.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	names := s.store.Names()
+	infos := make([]datasetInfo, 0, len(names))
+	for _, n := range names {
+		rel, err := s.store.Get(n)
+		if err != nil {
+			continue // removed between Names and Get; nothing to report
+		}
+		infos = append(infos, datasetInfo{
+			Name: n, Cx: rel.Matrix.Cx, Cy: rel.Matrix.Cy, Ct: rel.Matrix.Ct,
+			Total: rel.Matrix.Total(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+// handleQuery answers one 3-orthotope range query:
+//
+//	GET /query?d=<release>&x0=&x1=&y0=&y1=&t0=&t1=[&clip=1][&timeout=500ms]
+//
+// Bounds are strict integers. By default a query must lie fully inside
+// the release's box or it is refused with 400; with clip=1 the bounds
+// are canonicalised and clipped, and only an empty intersection is
+// refused. Either way a malformed request can never panic the handler or
+// return a silently-wrong answer — validation happens before evaluation.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	// Chaos / test injection point: slow handlers block here against the
+	// request deadline; injected panics exercise the recovery middleware.
+	if err := resilience.Fire(ctx, resilience.FaultServeQuery, r); err != nil {
+		if ctx.Err() != nil {
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("injected fault: %v", err))
+		return
+	}
+	if ctx.Err() != nil {
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		return
+	}
+
+	rel, err := s.store.Get(r.URL.Query().Get("d"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q, clip, err := parseQueryBounds(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	cx, cy, ct := rel.Index.Dims()
+	if clip {
+		sum, ok := query.Answer(rel.Index, q)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf(
+				"query %+v does not intersect release %q (%dx%dx%d)", q, rel.Name, cx, cy, ct))
+			return
+		}
+		answered, _ := q.Canonicalize().Clip(cx, cy, ct)
+		writeJSON(w, http.StatusOK, queryResponse{
+			Dataset: rel.Name, Query: answered, Sum: sum,
+			Cells: answered.Volume(), Clipped: answered != q,
+		})
+		return
+	}
+	if !q.ValidIn(cx, cy, ct) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"query %+v outside release %q (%dx%dx%d); pass clip=1 to clamp", q, rel.Name, cx, cy, ct))
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Dataset: rel.Name, Query: q, Sum: rel.Index.RangeSum(q), Cells: q.Volume(),
+	})
+}
+
+// parseQueryBounds reads the six bound parameters and the clip flag.
+// Every bound must be present and a plain integer — no floats, no
+// non-finite spellings, no overflow past int range — so garbage can
+// never be reinterpreted as a huge or inverted region.
+func parseQueryBounds(r *http.Request) (q grid.Query, clip bool, err error) {
+	vals := r.URL.Query()
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{
+		{"x0", &q.X0}, {"x1", &q.X1},
+		{"y0", &q.Y0}, {"y1", &q.Y1},
+		{"t0", &q.T0}, {"t1", &q.T1},
+	} {
+		raw := vals.Get(p.name)
+		if raw == "" {
+			return q, false, fmt.Errorf("missing required parameter %s", p.name)
+		}
+		n, perr := strconv.Atoi(raw)
+		if perr != nil {
+			return q, false, fmt.Errorf("parameter %s=%q is not an integer", p.name, raw)
+		}
+		*p.dst = n
+	}
+	switch raw := vals.Get("clip"); raw {
+	case "", "0", "false":
+	case "1", "true":
+		clip = true
+	default:
+		return q, false, fmt.Errorf("parameter clip=%q: want 1/true or 0/false", raw)
+	}
+	return q, clip, nil
+}

@@ -1,0 +1,108 @@
+// Package serve is the long-lived query-serving daemon over published DP
+// releases: analysts issue the paper's 3-orthotope range queries
+// (Definition 3) over sanitised consumption matrices via HTTP. The
+// routing is trivial — every answer is one O(1) prefix-sum lookup — so
+// the package is really the robustness envelope around it: bounded-
+// concurrency admission with load shedding (429 + Retry-After),
+// per-request deadlines propagated by context, panic containment,
+// readiness/liveness probes, graceful drain on shutdown, and
+// fault-injection points for chaos testing.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/resilience"
+)
+
+// Server answers range queries over a Store of releases under the
+// robustness envelope configured by Config. Create with New, expose with
+// Handler (tests) or Run (daemon).
+type Server struct {
+	cfg      Config
+	store    *Store
+	gate     *gate
+	base     context.Context // value-only: carries the fault injector
+	draining atomic.Bool
+}
+
+// New builds a Server. ctx is the value context requests inherit — pass
+// one carrying a resilience.Injector to enable fault injection; its
+// cancellation is deliberately ignored (drain is Run's job, and
+// cancelling in-flight requests at shutdown would defeat graceful
+// drain).
+func New(ctx context.Context, store *Store, cfg Config) *Server {
+	cfg = cfg.withDefaults(parallel.Workers(0))
+	return &Server{
+		cfg:   cfg,
+		store: store,
+		gate:  newGate(cfg.Capacity, cfg.Queue),
+		base:  context.WithoutCancel(ctx),
+	}
+}
+
+// Draining reports whether the server has begun graceful shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Run serves on ln until ctx is cancelled (typically by SIGINT/SIGTERM
+// via signal.NotifyContext), then drains: the listener closes so no new
+// connections are accepted, readiness flips false, and in-flight
+// requests get Config.DrainTimeout to finish. A clean drain returns nil;
+// anything still running at the deadline is force-closed and Run returns
+// a non-nil error so the process can exit non-zero — a forced abort is
+// an operational event worth alerting on, not a normal stop.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return s.base },
+		// Slowloris containment: a client trickling its headers cannot
+		// hold a connection open past its own request budget.
+		ReadHeaderTimeout: s.cfg.MaxTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve only returns before shutdown on listener failure.
+		return fmt.Errorf("serve: listener: %w", err)
+	case <-ctx.Done():
+	}
+
+	s.draining.Store(true)
+	dctx, cancel := context.WithTimeout(s.base, s.cfg.DrainTimeout)
+	defer cancel()
+	// Mid-drain injection point: a hook that blocks on dctx.Done()
+	// consumes the whole drain budget and forces the abort path.
+	if err := resilience.Fire(dctx, resilience.FaultServeDrain, nil); err != nil {
+		hs.Close()
+		return fmt.Errorf("serve: aborted during drain: %w", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("serve: forced abort after %s drain: %w", s.cfg.DrainTimeout, err)
+	}
+	return nil
+}
+
+// ListenAndRun resolves addr, announces the bound address through ready
+// (which may be nil), and calls Run. Split from Run so callers — the CLI
+// and tests alike — can bind port 0 and learn the real address before
+// traffic starts.
+func (s *Server) ListenAndRun(ctx context.Context, addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	return s.Run(ctx, ln)
+}
+
+// Config returns the server's effective (default-applied) configuration.
+func (s *Server) Config() Config { return s.cfg }

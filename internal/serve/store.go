@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/datasets"
+	"repro/internal/grid"
+)
+
+// Release is one published matrix the server answers queries against.
+// The prefix-sum index is built once at load time; after that every
+// query is O(1) and the matrix itself is never written again, so
+// concurrent readers need no locking.
+type Release struct {
+	Name   string
+	Matrix *grid.Matrix
+	Index  *grid.PrefixSum
+}
+
+// Store holds the loaded releases by name. Loading happens at startup
+// (or test setup); serving only reads, so the lock is only contended
+// during reconfiguration.
+type Store struct {
+	mu  sync.RWMutex
+	rel map[string]*Release
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{rel: make(map[string]*Release)} }
+
+// Add indexes a matrix and registers it under name, replacing any
+// previous release with that name.
+func (s *Store) Add(name string, m *grid.Matrix) *Release {
+	r := &Release{Name: name, Matrix: m, Index: grid.NewPrefixSum(m)}
+	s.mu.Lock()
+	s.rel[name] = r
+	s.mu.Unlock()
+	return r
+}
+
+// Get looks a release up by name. The empty name resolves when exactly
+// one release is loaded — the common single-matrix deployment — and is
+// ambiguous otherwise.
+func (s *Store) Get(name string) (*Release, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.rel) == 1 {
+			for _, r := range s.rel {
+				return r, nil
+			}
+		}
+		return nil, fmt.Errorf("serve: %d releases loaded; pass d=<name> (one of %v)", len(s.rel), s.namesLocked())
+	}
+	r, ok := s.rel[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown release %q (loaded: %v)", name, s.namesLocked())
+	}
+	return r, nil
+}
+
+// Names returns the loaded release names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.namesLocked()
+}
+
+func (s *Store) namesLocked() []string {
+	names := make([]string, 0, len(s.rel))
+	for n := range s.rel {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of loaded releases.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rel)
+}
+
+// LoadFile loads one release from a CSV file, sniffing the format from
+// the header row: a stpt-run cell list (x,y,t,value) loads directly; a
+// stpt-datagen household file (x,y,v0,...) is aggregated into its
+// consumption matrix first (cx/cy as in datasets.LoadCSV: 0 infers a
+// power-of-two grid).
+func (s *Store) LoadFile(name, path string, cx, cy int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer f.Close()
+	// 64 KiB of lookahead comfortably covers the widest header row a
+	// household file produces, so sniffing never truncates mid-line.
+	m, err := loadMatrix(bufio.NewReaderSize(f, 1<<16), path, cx, cy)
+	if err != nil {
+		return err
+	}
+	s.Add(name, m)
+	return nil
+}
+
+// loadMatrix sniffs and parses either CSV shape from r.
+func loadMatrix(r *bufio.Reader, path string, cx, cy int) (*grid.Matrix, error) {
+	head, err := r.Peek(r.Size())
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, bufio.ErrBufferFull) {
+		return nil, fmt.Errorf("serve: reading %s: %w", path, err)
+	}
+	hr := csv.NewReader(bytes.NewReader(head))
+	header, err := hr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: cannot read CSV header: %w", path, err)
+	}
+	kind, err := datasets.SniffCSV(header)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	switch kind {
+	case "matrix":
+		m, err := datasets.LoadMatrixCSV(r)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", path, err)
+		}
+		return m, nil
+	default: // "dataset"
+		d, err := datasets.LoadCSV(r, path, cx, cy)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", path, err)
+		}
+		return grid.FromDataset(d), nil
+	}
+}
