@@ -1,0 +1,170 @@
+// Command stpt-ingest runs the durable streaming ingester: household
+// readings (x,y,t,value lines) arrive on stdin, from a file, or over
+// HTTP, every accepted batch is write-ahead-logged before it touches the
+// consumption matrix, malformed records are quarantined to a dead-letter
+// file, and closing the epoch publishes an atomic snapshot gated by the
+// crash-safe privacy-budget ledger. Restarting after a crash replays the
+// WAL to the identical matrix.
+//
+// One-shot (stream in, publish, exit):
+//
+//	stpt-ingest -wal epoch.wal -grid 16 -t 60 -in readings.csv \
+//	    -publish release.csv -ledger budget.ledger -budget 60 -eps-sanitize 20
+//
+// Daemon (HTTP ingestion; POST /-/publish closes the epoch):
+//
+//	stpt-ingest -wal epoch.wal -grid 16 -t 60 -listen :8090 -token s3cret \
+//	    -publish release.csv -ledger budget.ledger -budget 60
+//
+// A publication that would exceed the lifetime budget is refused: the
+// typed ledger error goes to stderr and the process exits non-zero (the
+// HTTP daemon answers 409 Conflict and keeps ingesting).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/ingest"
+)
+
+func main() {
+	var (
+		walPath    = flag.String("wal", "", "write-ahead log path; required (replayed on start)")
+		gridSide   = flag.Int("grid", 16, "spatial grid side (Cx = Cy)")
+		tLen       = flag.Int("t", 0, "number of time intervals; required")
+		inPath     = flag.String("in", "", "input CSV of readings ('-' or empty = stdin; ignored with -listen)")
+		deadPath   = flag.String("dead-letter", "", "quarantine file for malformed records (JSONL; default: no file, counted only)")
+		batch      = flag.Int("batch", 256, "readings per WAL append+fsync")
+		listen     = flag.String("listen", "", "serve HTTP ingestion on this address instead of reading -in")
+		token      = flag.String("token", "", "bearer token required on mutating HTTP endpoints")
+		publish    = flag.String("publish", "", "publish the epoch snapshot to this file (atomic write)")
+		ledgerPath = flag.String("ledger", "", "privacy-budget ledger file; publication charges it first")
+		budget     = flag.Float64("budget", 0, "lifetime ε budget per dataset enforced through -ledger (0 = record only)")
+		datasetF   = flag.String("dataset", "", "dataset name charged in the ledger (default: the -publish file name)")
+		epsP       = flag.Float64("eps-pattern", 0, "ε charged as pattern budget per publication")
+		epsS       = flag.Float64("eps-sanitize", 0, "ε charged as sanitisation budget per publication")
+	)
+	flag.Parse()
+	if *walPath == "" {
+		fatalf("missing -wal")
+	}
+	if *tLen <= 0 {
+		fatalf("missing -t (number of time intervals)")
+	}
+	if *listen == "" && *publish == "" {
+		fatalf("nothing to do: give -publish (and usually -in) for one-shot mode, or -listen for the daemon")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var dead *os.File
+	var err error
+	if *deadPath != "" {
+		dead, err = os.OpenFile(*deadPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer dead.Close()
+	}
+	cfg := ingest.Config{Cx: *gridSide, Cy: *gridSide, Ct: *tLen, BatchSize: *batch}
+	if dead != nil {
+		cfg.DeadLetter = dead
+	}
+	in, err := ingest.New(cfg, *walPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer in.Close()
+	if replayed := in.Stats().Replayed; replayed > 0 {
+		fmt.Fprintf(os.Stderr, "stpt-ingest: replayed %d readings from %s\n", replayed, *walPath)
+	}
+
+	var ledger *dp.Ledger
+	if *ledgerPath != "" {
+		ledger, err = dp.OpenLedger(*ledgerPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ledger.Close()
+	}
+	dataset := *datasetF
+	if dataset == "" && *publish != "" {
+		dataset = filepath.Base(*publish)
+	}
+	doPublish := func() error {
+		err := in.Publish(ctx, *publish, ledger,
+			dp.LedgerEntry{Dataset: dataset, Algorithm: "ingest", EpsPattern: *epsP, EpsSanitize: *epsS},
+			*budget)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "stpt-ingest: published %s\n", *publish)
+		}
+		return err
+	}
+
+	if *listen != "" {
+		serveHTTP(ctx, in, *listen, *token, *publish, doPublish)
+		return
+	}
+
+	src := os.Stdin
+	if *inPath != "" && *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	accepted, quarantined, err := in.Ingest(ctx, src)
+	fmt.Fprintf(os.Stderr, "stpt-ingest: accepted %d, quarantined %d\n", accepted, quarantined)
+	if err != nil {
+		// Everything committed before the fault is durable in the WAL; the
+		// next run replays it.
+		fatalf("%v", err)
+	}
+	if err := doPublish(); err != nil {
+		if errors.Is(err, dp.ErrBudgetExhausted) {
+			fatalf("refusing to publish: %v", err)
+		}
+		fatalf("%v", err)
+	}
+}
+
+// serveHTTP runs the ingestion daemon until the context is cancelled,
+// then drains in-flight requests.
+func serveHTTP(ctx context.Context, in *ingest.Ingester, addr, token, publishPath string, doPublish func() error) {
+	hcfg := ingest.HandlerConfig{Token: token}
+	if publishPath != "" {
+		hcfg.Publish = doPublish
+	}
+	srv := &http.Server{Addr: addr, Handler: ingest.Handler(in, hcfg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "stpt-ingest: listening on %s\n", addr)
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "stpt-ingest: drained")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stpt-ingest: "+format+"\n", args...)
+	os.Exit(1)
+}

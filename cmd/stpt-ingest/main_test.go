@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOneShotLedgerRefusal builds the real binary and runs the one-shot
+// pipeline twice against a tight lifetime budget: the first publication
+// succeeds and charges the ledger, the second is refused with a
+// non-zero exit and no overwritten release.
+func TestOneShotLedgerRefusal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "stpt-ingest")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	input := filepath.Join(dir, "readings.csv")
+	if err := os.WriteFile(input, []byte("0,0,0,1.5\n1,1,1,2\n3,3,3,4\nbad,line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release := filepath.Join(dir, "release.csv")
+	run := func(wal string) (string, error) {
+		cmd := exec.Command(bin,
+			"-wal", filepath.Join(dir, wal), "-grid", "4", "-t", "4",
+			"-in", input, "-dead-letter", filepath.Join(dir, "dead.jsonl"),
+			"-publish", release, "-ledger", filepath.Join(dir, "budget.ledger"),
+			"-budget", "30", "-eps-sanitize", "20", "-dataset", "meters")
+		var buf bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &buf, &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	out, err := run("epoch1.wal")
+	if err != nil {
+		t.Fatalf("first run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "accepted 3, quarantined 1") {
+		t.Fatalf("first run output: %s", out)
+	}
+	firstRelease, err := os.ReadFile(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second epoch would need 20 more ε against a lifetime 30: refused,
+	// non-zero exit, release untouched.
+	out, err = run("epoch2.wal")
+	if err == nil {
+		t.Fatalf("over-budget run exited 0\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !strings.Contains(out, "budget") || !strings.Contains(out, "refusing") {
+		t.Fatalf("refusal output: %s", out)
+	}
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() == 0 {
+		t.Fatalf("exit status: %v", err)
+	}
+	after, err := os.ReadFile(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstRelease, after) {
+		t.Fatal("refused publication overwrote the release")
+	}
+
+	// Dead letter recorded the malformed line across both runs.
+	dead, err := os.ReadFile(filepath.Join(dir, "dead.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(dead, []byte("\n")); got != 2 {
+		t.Fatalf("dead letter has %d records, want 2 (one per run)", got)
+	}
+}

@@ -7,6 +7,10 @@
 //	stpt-datagen -dataset CA -grid 16 -hours 60 > ca.csv
 //	stpt-run -in ca.csv -ttrain 30 -alg stpt -eval
 //	stpt-run -in ca.csv -ttrain 30 -alg identity -eps 30 -eval
+//
+// With -ledger, every release durably charges its ε to a crash-safe
+// budget ledger first, and -budget sets the lifetime ε per dataset
+// beyond which stpt-run refuses to release (non-zero exit, no output).
 package main
 
 import (
@@ -17,12 +21,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/dp"
 	"repro/internal/grid"
 	"repro/internal/parallel"
 	"repro/internal/query"
@@ -48,6 +54,9 @@ func main() {
 		queries  = flag.Int("queries", 300, "queries per class when evaluating")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		workers  = flag.Int("workers", 0, "worker pool size for STPT's parallel stages (0 = GOMAXPROCS; 1 = the historical serial path, bit-identical to earlier releases)")
+		ledgerP  = flag.String("ledger", "", "privacy-budget ledger file; every release appends its spend and over-budget releases are refused")
+		budget   = flag.Float64("budget", 0, "lifetime ε budget per dataset enforced through -ledger (0 = record only, never refuse)")
+		dataset  = flag.String("dataset", "", "dataset name charged in the ledger (default: the -in file name)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -130,27 +139,55 @@ func main() {
 		}
 	}
 
-	w := os.Stdout
-	var outFile *os.File
-	if *out != "" {
-		outFile, err = os.Create(*out)
-		if err != nil {
+	// The ledger charge comes strictly before the release leaves the
+	// process: a crash between the two over-counts spending, which is the
+	// safe direction for a privacy budget.
+	if *ledgerP != "" {
+		entry := dp.LedgerEntry{Dataset: *dataset, Algorithm: *alg}
+		if entry.Dataset == "" {
+			entry.Dataset = filepath.Base(*in)
+		}
+		if *alg == "stpt" {
+			entry.EpsPattern, entry.EpsSanitize = *epsP, *epsS
+		} else {
+			entry.EpsSanitize = *eps // baselines spend their whole ε on sanitisation
+		}
+		if err := chargeLedger(ctx, *ledgerP, entry, *budget); err != nil {
+			if errors.Is(err, dp.ErrBudgetExhausted) {
+				fatalf("refusing to release: %v", err)
+			}
 			fatalf("%v", err)
 		}
-		w = outFile
 	}
-	// The shared writer keeps this format and stpt-serve's loader in
-	// lockstep; see datasets.LoadMatrixCSV.
-	if err := datasets.SaveMatrixCSV(release, w); err != nil {
+
+	if *out != "" {
+		// Atomic publication: a crash mid-write must leave the previous
+		// release or the complete new one, never a torn file.
+		if err := datasets.SaveMatrixCSVFile(ctx, *out, release); err != nil {
+			fatalf("%v", err)
+		}
+	} else if err := datasets.SaveMatrixCSV(release, os.Stdout); err != nil {
+		// The shared writer keeps this format and stpt-serve's loader in
+		// lockstep; see datasets.LoadMatrixCSV.
 		fatalf("%v", err)
 	}
-	// A deferred Close would swallow write-back errors (full disk, NFS);
-	// close explicitly so a failed write exits non-zero.
-	if outFile != nil {
-		if err := outFile.Close(); err != nil {
-			fatalf("closing %s: %v", *out, err)
-		}
+}
+
+// chargeLedger opens the ledger, durably records the release's spend,
+// and closes it, refusing with dp.ErrBudgetExhausted when the dataset's
+// lifetime budget would be exceeded.
+func chargeLedger(ctx context.Context, path string, entry dp.LedgerEntry, budget float64) error {
+	led, err := dp.OpenLedger(path)
+	if err != nil {
+		return err
 	}
+	defer led.Close()
+	if err := led.Charge(ctx, entry, budget); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stpt-run: ledger %s: charged ε=%.3g to %q (lifetime ε=%.3g)\n",
+		path, entry.Eps(), entry.Dataset, led.Spent(entry.Dataset))
+	return nil
 }
 
 // fatalCtx reports a run failure, naming the deadline when the cause was

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dp"
+)
 
 func TestParseModel(t *testing.T) {
 	for _, name := range []string{"rnn", "gru", "lstm", "attentive-gru", "transformer", "persistence"} {
@@ -14,5 +21,28 @@ func TestParseModel(t *testing.T) {
 	}
 	if _, err := parseModel("nope"); err == nil {
 		t.Fatal("expected error for unknown model")
+	}
+}
+
+// TestChargeLedgerRefusal: the CLI gate charges within budget, persists
+// across invocations, and surfaces the typed refusal once the lifetime
+// budget is spent — the path main maps to a non-zero exit.
+func TestChargeLedgerRefusal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger")
+	ctx := context.Background()
+	entry := dp.LedgerEntry{Dataset: "ca.csv", Algorithm: "stpt", EpsPattern: 10, EpsSanitize: 20}
+	if err := chargeLedger(ctx, path, entry, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := chargeLedger(ctx, path, entry, 60); err != nil {
+		t.Fatal(err)
+	}
+	err := chargeLedger(ctx, path, entry, 60)
+	if !errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Fatalf("third charge: %v, want ErrBudgetExhausted", err)
+	}
+	// A different dataset against the same ledger is unaffected.
+	if err := chargeLedger(ctx, path, dp.LedgerEntry{Dataset: "tx.csv", EpsSanitize: 30}, 60); err != nil {
+		t.Fatal(err)
 	}
 }

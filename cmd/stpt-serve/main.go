@@ -11,8 +11,12 @@
 //	curl 'localhost:8080/query?d=ca&x0=0&x1=3&y0=0&y1=3&t0=0&t1=9'
 //
 // Endpoints: /query (range queries), /datasets (loaded releases),
-// /healthz (liveness), /readyz (readiness; 503 while saturated or
-// draining).
+// /healthz (liveness), /readyz (readiness; 503 while saturated,
+// draining, or if the initial load failed), and — with -reload-token —
+// authenticated POST /-/reload for zero-downtime dataset swaps. SIGHUP
+// triggers the same reload: all -load files are re-sniffed and swapped
+// in atomically while in-flight queries finish on the old snapshot; a
+// failed reload keeps the old data serving.
 package main
 
 import (
@@ -22,8 +26,6 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +45,7 @@ func main() {
 		drain      = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		chaos      = flag.String("chaos", "", "fault-injection spec for robustness testing, e.g. slow=50ms,panic=100 (see internal/serve.ChaosInjector)")
+		reloadTok  = flag.String("reload-token", "", "bearer token enabling authenticated POST /-/reload (empty = endpoint disabled; SIGHUP reload always works)")
 	)
 	flag.Func("load", "release to serve as name=path (repeatable); path is a stpt-run cell CSV or a stpt-datagen household CSV", func(v string) error {
 		loads = append(loads, v)
@@ -53,23 +56,28 @@ func main() {
 		fatalf("no releases: pass at least one -load name=path")
 	}
 
-	store := serve.NewStore()
+	specs := make([]serve.LoadSpec, 0, len(loads))
 	for _, l := range loads {
-		name, path, ok := strings.Cut(l, "=")
-		if !ok {
-			// Bare path: derive the release name from the file stem.
-			path = l
-			name = strings.TrimSuffix(filepath.Base(l), filepath.Ext(l))
+		sp, err := serve.ParseLoadSpec(l, *gridSide, *gridSide)
+		if err != nil {
+			fatalf("-load %v", err)
 		}
-		if name == "" || path == "" {
-			fatalf("-load %q: want name=path", l)
+		specs = append(specs, sp)
+	}
+	store := serve.NewStore()
+	// All-or-nothing: either every release loads or none is swapped in. A
+	// failed initial load does NOT exit — the daemon serves /readyz 503
+	// until a SIGHUP or POST /-/reload brings fixed files in, so a bad
+	// deploy degrades to "not ready" instead of crash-looping.
+	initialErr := store.LoadAll(specs)
+	if initialErr != nil {
+		fmt.Fprintf(os.Stderr, "stpt-serve: initial load failed (serving not-ready until reload): %v\n", initialErr)
+	} else {
+		for _, name := range store.Names() {
+			rel, _ := store.Get(name)
+			fmt.Fprintf(os.Stderr, "stpt-serve: loaded %q: %dx%dx%d, total %.4g\n",
+				name, rel.Matrix.Cx, rel.Matrix.Cy, rel.Matrix.Ct, rel.Matrix.Total())
 		}
-		if err := store.LoadFile(name, path, *gridSide, *gridSide); err != nil {
-			fatalf("%v", err)
-		}
-		rel, _ := store.Get(name)
-		fmt.Fprintf(os.Stderr, "stpt-serve: loaded %q from %s: %dx%dx%d, total %.4g\n",
-			name, path, rel.Matrix.Cx, rel.Matrix.Cy, rel.Matrix.Ct, rel.Matrix.Total())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -90,7 +98,23 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drain,
 		RetryAfter:     *retryAfter,
+		ReloadToken:    *reloadTok,
 	})
+	s.MarkInitialLoad(initialErr)
+
+	// SIGHUP: the classic zero-downtime reload bell. In-flight queries
+	// finish on the old snapshot; a failed reload keeps the old data.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			// Reload logs its own outcome; a failure leaves the old
+			// generation serving, so there is nothing further to do here.
+			_ = s.Reload()
+		}
+	}()
+
 	err := s.ListenAndRun(ctx, *addr, func(a net.Addr) {
 		cfg := s.Config()
 		fmt.Fprintf(os.Stderr, "stpt-serve: listening on %s (capacity %d, queue %d, default timeout %s)\n",

@@ -31,6 +31,7 @@ func FuzzLoadCSV(f *testing.F) {
 	f.Add([]byte("x,y," + strings.Repeat("v,", 300) + "v\n"))   // very wide header
 	f.Add([]byte("\"x\",\"y\",\"v0\"\n\"0\",\"0\",\"1.25\"\n")) // quoted fields
 	f.Add([]byte(""))                                           // empty
+	f.Add([]byte("x,y,t,value\n1,1,1,2.5\n1,1,1,1.5\n"))        // matrix shape with a duplicate cell
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := LoadCSV(bytes.NewReader(data), "fuzz", 0, 0)
 		if err != nil {
@@ -47,6 +48,35 @@ func FuzzLoadCSV(f *testing.F) {
 				if math.IsNaN(v) || math.IsInf(v, 0) {
 					t.Fatalf("accepted dataset contains non-finite reading %v", v)
 				}
+			}
+		}
+	})
+}
+
+// FuzzLoadMatrixCSV covers the release-format loader the same way:
+// containment under arbitrary bytes. Accepted matrices must have bounded
+// dimensions and finite cells; duplicate (x,y,t) rows must be refused,
+// never accumulated.
+func FuzzLoadMatrixCSV(f *testing.F) {
+	f.Add([]byte("x,y,t,value\n0,0,0,1.5\n1,1,1,-2\n"))  // valid, incl. negative cell
+	f.Add([]byte("x,y,t,value\n1,1,1,2.5\n1,1,1,1.5\n")) // duplicate cell
+	f.Add([]byte("x,y,t,value\n0,0,0,NaN\n"))            // non-finite
+	f.Add([]byte("x,y,t,value\n9999999,0,0,1\n"))        // out-of-range coordinate
+	f.Add([]byte("x,y,t,value\n0,0,1\n"))                // short row
+	f.Add([]byte("x,y,t,value\n"))                       // header only
+	f.Add([]byte(""))                                    // empty
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := LoadMatrixCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m.Cx <= 0 || m.Cy <= 0 || m.Ct <= 0 ||
+			m.Cx > MaxGridSide || m.Cy > MaxGridSide || m.Ct > MaxGridSide {
+			t.Fatalf("accepted matrix has out-of-range dimensions %dx%dx%d", m.Cx, m.Cy, m.Ct)
+		}
+		for _, v := range m.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted matrix contains non-finite cell %v", v)
 			}
 		}
 	})

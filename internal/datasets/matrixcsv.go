@@ -2,6 +2,7 @@ package datasets
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/grid"
+	"repro/internal/resilience"
 )
 
 // matrixHeader is the header row of the released-matrix cell format.
@@ -35,12 +37,25 @@ func SaveMatrixCSV(m *grid.Matrix, w io.Writer) error {
 	return bw.Flush()
 }
 
+// SaveMatrixCSVFile writes the matrix to path atomically — temp file in
+// the same directory, fsync, rename — so a crash mid-save leaves either
+// the previous file or the complete new one, never a torn release that
+// LoadMatrixCSV would half-read. This is the only way release files
+// should reach disk.
+func SaveMatrixCSVFile(ctx context.Context, path string, m *grid.Matrix) error {
+	return resilience.AtomicWriteFile(ctx, path, func(w io.Writer) error {
+		return SaveMatrixCSV(m, w)
+	})
+}
+
 // LoadMatrixCSV reads the SaveMatrixCSV cell-list format back into a
 // matrix. Dimensions are inferred as max coordinate + 1 per axis; cells
-// absent from the file stay zero and duplicate cells accumulate. Values
-// may be negative (DP noise produces negative cells) but must be finite,
-// and coordinates are bounded so a corrupt file cannot demand an absurd
-// allocation.
+// absent from the file stay zero. A duplicate (x,y,t) cell is an error
+// naming both rows: SaveMatrixCSV writes each cell exactly once, so a
+// repeat means the file was corrupted or concatenated, and silently
+// accumulating it would double the cell. Values may be negative (DP
+// noise produces negative cells) but must be finite, and coordinates
+// are bounded so a corrupt file cannot demand an absurd allocation.
 func LoadMatrixCSV(r io.Reader) (*grid.Matrix, error) {
 	cr := csv.NewReader(r)
 	records, err := cr.ReadAll()
@@ -58,6 +73,7 @@ func LoadMatrixCSV(r io.Reader) (*grid.Matrix, error) {
 		v       float64
 	}
 	cells := make([]cell, 0, len(records)-1)
+	seen := make(map[[3]int]int, len(records)-1) // (x,y,t) → row number of first occurrence
 	cx, cy, ct := 0, 0, 0
 	for i, rec := range records[1:] {
 		if len(rec) != 4 {
@@ -82,6 +98,10 @@ func LoadMatrixCSV(r io.Reader) (*grid.Matrix, error) {
 			return nil, fmt.Errorf("datasets: matrix row %d: non-finite value %q", i+2, rec[3])
 		}
 		c.v = v
+		if first, dup := seen[[3]int{c.x, c.y, c.t}]; dup {
+			return nil, fmt.Errorf("datasets: matrix row %d: duplicate cell (%d,%d,%d), first defined at row %d", i+2, c.x, c.y, c.t, first)
+		}
+		seen[[3]int{c.x, c.y, c.t}] = i + 2
 		if c.x >= cx {
 			cx = c.x + 1
 		}

@@ -1,6 +1,9 @@
 package datasets
 
 import (
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -57,22 +60,66 @@ func TestLoadMatrixCSVRejects(t *testing.T) {
 	}
 }
 
-// TestLoadMatrixCSVAccumulatesDuplicates: duplicate cells sum, matching
-// AddAt semantics, and absent cells stay zero.
-func TestLoadMatrixCSVAccumulatesDuplicates(t *testing.T) {
-	in := "x,y,t,value\n1,1,1,2.5\n1,1,1,1.5\n"
-	m, err := LoadMatrixCSV(strings.NewReader(in))
+// TestLoadMatrixCSVRejectsDuplicates: SaveMatrixCSV writes each cell
+// once, so a repeated (x,y,t) marks a corrupt or concatenated release;
+// the error names both rows. Absent cells still load as zero.
+func TestLoadMatrixCSVRejectsDuplicates(t *testing.T) {
+	in := "x,y,t,value\n0,0,0,1\n1,1,1,2.5\n1,1,1,1.5\n"
+	_, err := LoadMatrixCSV(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("duplicate cell accepted")
+	}
+	for _, frag := range []string{"duplicate", "(1,1,1)", "row 4", "row 3"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+
+	m, err := LoadMatrixCSV(strings.NewReader("x,y,t,value\n1,1,1,2.5\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Cx != 2 || m.Cy != 2 || m.Ct != 2 {
 		t.Fatalf("dimensions %dx%dx%d, want 2x2x2", m.Cx, m.Cy, m.Ct)
 	}
-	if got := m.At(1, 1, 1); got != 4 {
-		t.Fatalf("duplicate cell = %g, want 4", got)
-	}
 	if got := m.At(0, 0, 0); got != 0 {
 		t.Fatalf("absent cell = %g, want 0", got)
+	}
+}
+
+// TestSaveMatrixCSVFileAtomic: the file helper produces a loadable
+// release, replaces an existing file in place, and leaves no temp
+// debris behind on success.
+func TestSaveMatrixCSVFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "release.csv")
+	m := grid.NewMatrix(2, 2, 2)
+	m.Set(1, 1, 1, 3.5)
+	if err := SaveMatrixCSVFile(context.Background(), path, m); err != nil {
+		t.Fatal(err)
+	}
+	m.Set(0, 0, 0, -1.25)
+	if err := SaveMatrixCSVFile(context.Background(), path, m); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := LoadMatrixCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0, 0) != -1.25 || got.At(1, 1, 1) != 3.5 {
+		t.Fatalf("reloaded cells %g/%g", got.At(0, 0, 0), got.At(1, 1, 1))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the release", len(entries))
 	}
 }
 

@@ -1,0 +1,256 @@
+package dp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/resilience"
+)
+
+// Ledger is the crash-safe, append-only record of privacy spending
+// across process lifetimes. The in-process Accountant verifies one
+// run's composition structure; the ledger is what survives the run —
+// every publication appends one durable entry, and the gate that
+// refuses an over-budget release reads the sum of everything any prior
+// process charged against the same dataset.
+//
+// On-disk format: one entry per line, `<crc32-hex> <json>\n`. The
+// checksum covers the JSON bytes, so a torn final line (the only damage
+// an fsynced append-only file can suffer from a crash) is detectable
+// and safely ignorable: Charge fsyncs the entry *before* the caller
+// publishes, so a torn entry proves the matching release never made it
+// out. The converse crash — entry durable, release lost — over-counts
+// spending, which is the conservative direction for a privacy budget.
+// A bad checksum anywhere except the final line is corruption and
+// refuses to open.
+type Ledger struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries []LedgerEntry
+	broken  bool // failed append: disk state unknown, refuse further charges
+}
+
+// LedgerEntry is one publication's recorded spend. EpsPattern and
+// EpsSanitize mirror the paper's two-phase budget split (Eq. 7);
+// baseline releases record their whole ε as EpsSanitize.
+type LedgerEntry struct {
+	Seq         int     `json:"seq"`
+	Dataset     string  `json:"dataset"`
+	Algorithm   string  `json:"alg,omitempty"`
+	EpsPattern  float64 `json:"eps_pattern"`
+	EpsSanitize float64 `json:"eps_sanitize"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// Eps returns the entry's total privacy loss, ε_pattern + ε_sanitize.
+func (e LedgerEntry) Eps() float64 { return e.EpsPattern + e.EpsSanitize }
+
+// ErrBudgetExhausted is the sentinel every budget refusal wraps;
+// callers gate on errors.Is(err, ErrBudgetExhausted) and exit non-zero
+// without publishing.
+var ErrBudgetExhausted = errors.New("dp: lifetime privacy budget exhausted")
+
+// BudgetError reports the exact arithmetic of a refused publication.
+type BudgetError struct {
+	Dataset   string
+	Requested float64 // ε the refused publication asked for
+	Spent     float64 // ε already durably charged to the dataset
+	Budget    float64 // configured lifetime budget
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("dp: publishing %q would spend ε=%.6g on top of ε=%.6g already spent, exceeding the lifetime budget ε=%.6g",
+		e.Dataset, e.Requested, e.Spent, e.Budget)
+}
+
+// Is makes errors.Is(err, ErrBudgetExhausted) hold for *BudgetError.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExhausted }
+
+// OpenLedger loads (or creates) the ledger at path, verifying every
+// entry's checksum and sequence. A torn final line is dropped; any
+// other damage is an error naming the line.
+func OpenLedger(path string) (*Ledger, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dp: opening ledger: %w", err)
+	}
+	l := &Ledger{path: path, f: f}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover scans the file, loading valid entries and truncating a torn
+// final line.
+func (l *Ledger) recover() error {
+	raw, err := os.ReadFile(l.path)
+	if err != nil {
+		return fmt.Errorf("dp: reading ledger: %w", err)
+	}
+	off := 0
+	for lineNo := 1; off < len(raw); lineNo++ {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			// No terminating newline: the append was cut mid-line. Only
+			// tolerable at the very end of the file.
+			break
+		}
+		line := raw[off : off+nl]
+		entry, perr := parseLedgerLine(line)
+		if perr != nil {
+			if off+nl+1 == len(raw) {
+				// Complete-looking final line that fails its checksum: the
+				// crash landed mid-write before the tail bytes hit disk but
+				// after the newline did — still the torn-tail case only if
+				// nothing follows it.
+				break
+			}
+			return fmt.Errorf("dp: ledger %s line %d: %w", l.path, lineNo, perr)
+		}
+		if want := len(l.entries) + 1; entry.Seq != want {
+			return fmt.Errorf("dp: ledger %s line %d: sequence %d, want %d (entries missing or reordered)", l.path, lineNo, entry.Seq, want)
+		}
+		l.entries = append(l.entries, entry)
+		off += nl + 1
+	}
+	if off < len(raw) {
+		// Truncate the torn tail so the next append starts a fresh line.
+		if err := l.f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("dp: truncating torn ledger tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("dp: syncing truncated ledger: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(int64(off), 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseLedgerLine validates `<crc32-hex> <json>` and decodes the entry.
+func parseLedgerLine(line []byte) (LedgerEntry, error) {
+	var e LedgerEntry
+	sumHex, doc, ok := strings.Cut(string(line), " ")
+	if !ok {
+		return e, errors.New("no checksum separator")
+	}
+	sum, err := strconv.ParseUint(sumHex, 16, 32)
+	if err != nil {
+		return e, fmt.Errorf("bad checksum field %q", sumHex)
+	}
+	if crc32.ChecksumIEEE([]byte(doc)) != uint32(sum) {
+		return e, errors.New("checksum mismatch")
+	}
+	if err := json.Unmarshal([]byte(doc), &e); err != nil {
+		return e, fmt.Errorf("checksummed entry does not decode: %w", err)
+	}
+	if e.EpsPattern < 0 || e.EpsSanitize < 0 || !isFinite(e.Eps()) {
+		return e, fmt.Errorf("entry carries invalid spend ε_pattern=%v ε_sanitize=%v", e.EpsPattern, e.EpsSanitize)
+	}
+	return e, nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Spent returns the ε already charged to dataset across all entries —
+// sequential composition (Theorem 1): repeated releases over the same
+// data add.
+func (l *Ledger) Spent(dataset string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spentLocked(dataset)
+}
+
+func (l *Ledger) spentLocked(dataset string) float64 {
+	var total float64
+	for _, e := range l.entries {
+		if e.Dataset == dataset {
+			total += e.Eps()
+		}
+	}
+	return total
+}
+
+// Entries returns a copy of the ledger's entries in append order.
+func (l *Ledger) Entries() []LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LedgerEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len returns the number of committed entries.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Charge durably records e's spend against its dataset, refusing with a
+// *BudgetError (wrapping ErrBudgetExhausted) if the dataset's lifetime
+// spending would exceed budget. budget <= 0 means unlimited: the entry
+// is recorded for audit but never refused. The entry's Seq is assigned
+// by the ledger. Charge returns only after fsync — callers publish the
+// release strictly after a nil return, which is what makes a torn tail
+// safe to drop on recovery.
+func (l *Ledger) Charge(ctx context.Context, e LedgerEntry, budget float64) error {
+	if e.Dataset == "" {
+		return errors.New("dp: ledger entry needs a dataset name")
+	}
+	if e.EpsPattern < 0 || e.EpsSanitize < 0 || !isFinite(e.Eps()) {
+		return fmt.Errorf("dp: invalid spend ε_pattern=%v ε_sanitize=%v", e.EpsPattern, e.EpsSanitize)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken {
+		return fmt.Errorf("dp: ledger %s is poisoned by an earlier append failure", l.path)
+	}
+	const tol = 1e-9
+	if spent := l.spentLocked(e.Dataset); budget > 0 && e.Eps() > budget-spent+tol {
+		return &BudgetError{Dataset: e.Dataset, Requested: e.Eps(), Spent: spent, Budget: budget}
+	}
+	e.Seq = len(l.entries) + 1
+	doc, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("dp: encoding ledger entry: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(doc), doc)
+	if _, err := l.f.WriteString(line); err != nil {
+		l.broken = true
+		return fmt.Errorf("dp: appending ledger entry: %w", err)
+	}
+	// Fault window: entry written, not yet durable. A crash here leaves
+	// a (possibly torn) uncommitted line and no published release.
+	if err := resilience.Fire(ctx, resilience.FaultLedgerAppend, e.Seq); err != nil {
+		l.broken = true
+		return fmt.Errorf("dp: syncing ledger entry: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = true
+		return fmt.Errorf("dp: syncing ledger entry: %w", err)
+	}
+	l.entries = append(l.entries, e)
+	return nil
+}
+
+// Close releases the file handle; all committed entries are already
+// durable.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -1,0 +1,240 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/dp"
+	"repro/internal/resilience"
+)
+
+// Kill-and-replay: a child process ingests a known stream, stalls at an
+// injected fault point (mid-commit, mid-fsync, or mid-rename), and the
+// parent SIGKILLs it there — a real crash, not a simulated one. The
+// parent then recovers the WAL and asserts the replayed matrix is
+// byte-identical (as CSV) to the prefix the child had durably committed,
+// and that resuming ingestion of the uncommitted remainder reproduces
+// the full-input matrix exactly.
+
+const (
+	crashChildEnv = "STPT_INGEST_CRASH_CHILD" // mode: mid-batch | mid-sync | mid-rename
+	crashDirEnv   = "STPT_INGEST_CRASH_DIR"
+
+	crashCx, crashCy, crashCt = 6, 5, 12
+	crashBatch                = 16
+	crashTotal                = 160 // 10 full batches
+	crashStallAt              = 4   // batch ordinal where the child freezes
+	crashSeed                 = 99
+)
+
+// TestIngestCrashChild is the re-exec target; it is a no-op unless the
+// parent set the mode env var.
+func TestIngestCrashChild(t *testing.T) {
+	mode := os.Getenv(crashChildEnv)
+	if mode == "" {
+		t.Skip("re-exec helper; run via TestIngestKillReplay")
+	}
+	dir := os.Getenv(crashDirEnv)
+	marker := filepath.Join(dir, "stalled")
+	stall := func(ctx context.Context, payload any) error {
+		if err := os.WriteFile(marker, []byte("stalled\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "marker:", err)
+			os.Exit(3)
+		}
+		select {} // wait for the parent's SIGKILL
+	}
+	stallAtOrdinal := func(ctx context.Context, payload any) error {
+		if payload.(int) == crashStallAt {
+			return stall(ctx, payload)
+		}
+		return nil
+	}
+
+	inj := resilience.NewInjector()
+	switch mode {
+	case "mid-batch":
+		// Freeze after the batch is accepted but before its WAL record is
+		// written: the crash loses the whole in-flight batch.
+		inj.On(resilience.FaultIngestBatch, stallAtOrdinal)
+	case "mid-sync":
+		// Freeze after the record's bytes are written but before fsync:
+		// the record was never acknowledged, but its bytes may survive.
+		inj.On(resilience.FaultWALSync, stallAtOrdinal)
+	case "mid-rename":
+		// Freeze inside Publish's commit window: ledger charged, temp file
+		// written, rename pending. The release must not exist afterwards.
+		inj.On(resilience.FaultAtomicRename, stall)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown crash mode", mode)
+		os.Exit(3)
+	}
+	ctx := resilience.WithInjector(context.Background(), inj)
+
+	in, err := New(Config{Cx: crashCx, Cy: crashCy, Ct: crashCt, BatchSize: crashBatch},
+		filepath.Join(dir, "crash.wal"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child new:", err)
+		os.Exit(3)
+	}
+	readings := genReadings(crashTotal, crashCx, crashCy, crashCt, crashSeed)
+	if _, _, err := in.Ingest(ctx, strings.NewReader(readingsCSV(readings))); err != nil {
+		fmt.Fprintln(os.Stderr, "child ingest:", err)
+		os.Exit(3)
+	}
+	if mode == "mid-rename" {
+		led, err := dp.OpenLedger(filepath.Join(dir, "ledger"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "child ledger:", err)
+			os.Exit(3)
+		}
+		err = in.Publish(ctx, filepath.Join(dir, "release.csv"), led,
+			dp.LedgerEntry{Dataset: "crash", EpsPattern: 1, EpsSanitize: 2}, 0)
+		fmt.Fprintln(os.Stderr, "child publish returned:", err)
+		os.Exit(3) // the stall should have frozen us inside Publish
+	}
+	fmt.Fprintln(os.Stderr, "child ran to completion without stalling")
+	os.Exit(3)
+}
+
+func TestIngestKillReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	for _, mode := range []string{"mid-batch", "mid-sync", "mid-rename"} {
+		t.Run(mode, func(t *testing.T) { runKillReplay(t, mode) })
+	}
+}
+
+func runKillReplay(t *testing.T, mode string) {
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestIngestCrashChild$")
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+mode, crashDirEnv+"="+dir)
+	var childLog bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &childLog, &childLog
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	// Wait for the child to freeze at the fault point, then SIGKILL it —
+	// no deferred cleanup in the child runs, exactly like a power cut
+	// from the process's point of view.
+	marker := filepath.Join(dir, "stalled")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(marker); err == nil {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("child exited before stalling (%v)\n%s", err, childLog.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("child never reached the fault point\n%s", childLog.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// Recover: a fresh ingester over the same WAL.
+	re, err := New(Config{Cx: crashCx, Cy: crashCy, Ct: crashCt, BatchSize: crashBatch},
+		filepath.Join(dir, "crash.wal"))
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer re.Close()
+	replayed := int(re.Stats().Replayed)
+	if replayed%crashBatch != 0 {
+		t.Fatalf("replayed %d readings, not a whole number of batches", replayed)
+	}
+	committed := replayed / crashBatch
+	switch mode {
+	case "mid-batch":
+		// Stalled before the record was written: exactly the prior batches.
+		if committed != crashStallAt {
+			t.Fatalf("replayed %d batches, want %d", committed, crashStallAt)
+		}
+	case "mid-sync":
+		// Record bytes written, fsync pending. The batch was never
+		// acknowledged; recovering it is allowed (the bytes survived the
+		// kill), losing it is allowed (they might not survive a power cut).
+		if committed != crashStallAt && committed != crashStallAt+1 {
+			t.Fatalf("replayed %d batches, want %d or %d", committed, crashStallAt, crashStallAt+1)
+		}
+	case "mid-rename":
+		if committed != crashTotal/crashBatch {
+			t.Fatalf("replayed %d batches, want all %d", committed, crashTotal/crashBatch)
+		}
+	}
+
+	// The replayed matrix must be byte-identical (as a CSV snapshot) to
+	// the matrix built from exactly the committed prefix of the stream.
+	readings := genReadings(crashTotal, crashCx, crashCy, crashCt, crashSeed)
+	want := matrixOf(readings[:replayed], crashCx, crashCy, crashCt)
+	var wantCSV, gotCSV bytes.Buffer
+	if err := datasets.SaveMatrixCSV(want, &wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := datasets.SaveMatrixCSV(re.Snapshot(), &gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantCSV.Bytes(), gotCSV.Bytes()) {
+		t.Fatalf("%s: replayed matrix differs from the committed prefix", mode)
+	}
+
+	switch mode {
+	case "mid-batch", "mid-sync":
+		// Resume: re-ingesting the uncommitted remainder must land exactly
+		// on the full-input matrix.
+		if _, _, err := re.Ingest(context.Background(), strings.NewReader(readingsCSV(readings[replayed:]))); err != nil {
+			t.Fatal(err)
+		}
+		if !matricesEqual(re.Snapshot(), matrixOf(readings, crashCx, crashCy, crashCt)) {
+			t.Fatal("resumed matrix differs from the full input")
+		}
+	case "mid-rename":
+		// The crash hit inside the commit window: no release may exist
+		// (complete or partial), but the ledger charge — fsynced strictly
+		// before the write — must have survived. Over-counting spend on a
+		// lost release is the conservative failure.
+		if _, err := os.Stat(filepath.Join(dir, "release.csv")); !os.IsNotExist(err) {
+			t.Fatalf("release exists after mid-rename crash (stat err=%v)", err)
+		}
+		led, err := dp.OpenLedger(filepath.Join(dir, "ledger"))
+		if err != nil {
+			t.Fatalf("ledger did not recover: %v", err)
+		}
+		defer led.Close()
+		if got := led.Spent("crash"); got != 3 {
+			t.Fatalf("ledger spent %g after crash, want 3 (charge precedes publish)", got)
+		}
+		// Leftover temp files are expected debris; they must not look like
+		// releases. Re-publishing after recovery must succeed cleanly.
+		if err := re.Publish(context.Background(), filepath.Join(dir, "release.csv"), led,
+			dp.LedgerEntry{Dataset: "crash", EpsPattern: 1, EpsSanitize: 2}, 0); err != nil {
+			t.Fatalf("re-publish after recovery: %v", err)
+		}
+		f, err := os.Open(filepath.Join(dir, "release.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := datasets.LoadMatrixCSV(f); err != nil {
+			t.Fatalf("re-published release does not load: %v", err)
+		}
+	}
+}

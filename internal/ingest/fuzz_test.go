@@ -1,0 +1,46 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzWALDecode hammers the record-payload parser with arbitrary bytes.
+// Invariants: never panic; every accepted payload is non-empty, carries
+// only finite values, and re-encodes byte-identically (the encoding is
+// canonical, so a checksummed record decodes to exactly one batch).
+func FuzzWALDecode(f *testing.F) {
+	// Valid payloads of a few shapes.
+	f.Add(encodeBatch(nil, []Reading{{X: 1, Y: 2, T: 3, V: 4.5}}))
+	f.Add(encodeBatch(nil, testBatches(1)[0]))
+	f.Add(encodeBatch(nil, testBatches(5)[4]))
+	// Structurally broken seeds.
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0})                                       // shorter than the count field
+	f.Add([]byte{0, 0, 0, 0})                                    // zero count
+	f.Add([]byte{2, 0, 0, 0, 1, 2, 3})                           // count/length mismatch
+	f.Add(binary.LittleEndian.AppendUint32(nil, math.MaxUint32)) // huge count
+	nan := encodeBatch(nil, []Reading{{V: 1}})
+	binary.LittleEndian.PutUint64(nan[4+12:], math.Float64bits(math.NaN()))
+	f.Add(nan)
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		batch, err := DecodeBatch(payload)
+		if err != nil {
+			return
+		}
+		if len(batch) == 0 {
+			t.Fatal("accepted an empty batch")
+		}
+		for i, r := range batch {
+			if math.IsNaN(r.V) || math.IsInf(r.V, 0) {
+				t.Fatalf("reading %d: accepted non-finite value %v", i, r.V)
+			}
+		}
+		if re := encodeBatch(nil, batch); !bytes.Equal(re, payload) {
+			t.Fatalf("round trip not canonical: %d bytes in, %d bytes out", len(payload), len(re))
+		}
+	})
+}

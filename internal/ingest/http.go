@@ -1,0 +1,108 @@
+package ingest
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/dp"
+)
+
+// HandlerConfig wires an Ingester into an HTTP surface.
+type HandlerConfig struct {
+	// Token, when non-empty, is required as `Authorization: Bearer
+	// <token>` on every mutating endpoint. An unauthenticated daemon
+	// accepts readings from anyone on the network; that is only sane on
+	// localhost, so production deployments set a token.
+	Token string
+	// Publish closes the current epoch, typically Ingester.Publish bound
+	// to the CLI's output path and ledger. nil disables /-/publish.
+	Publish func() error
+}
+
+// Handler exposes the ingester over HTTP:
+//
+//	POST /ingest     CSV body (x,y,t,value lines) → {"accepted":N,"quarantined":M}
+//	POST /-/publish  close the epoch: snapshot + ledger charge (403 on auth,
+//	                 409 when the privacy budget refuses, 404 if not configured)
+//	GET  /stats      lifetime counters + matrix dimensions
+//	GET  /healthz    liveness
+//
+// A rejected publication maps to 409 Conflict: the request was valid,
+// but the ledger's durable state forbids the spend.
+func Handler(in *Ingester, cfg HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		cx, cy, ct := in.Dims()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"stats": in.Stats(), "cx": cx, "cy": cy, "ct": ct,
+		})
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if !mutating(w, r, cfg.Token) {
+			return
+		}
+		accepted, quarantined, err := in.Ingest(r.Context(), r.Body)
+		if err != nil {
+			// Accepted-and-committed readings stay durable even when the
+			// stream dies halfway; report both the failure and the progress.
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error": err.Error(), "accepted": accepted, "quarantined": quarantined,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"accepted": accepted, "quarantined": quarantined,
+		})
+	})
+	mux.HandleFunc("/-/publish", func(w http.ResponseWriter, r *http.Request) {
+		if !mutating(w, r, cfg.Token) {
+			return
+		}
+		if cfg.Publish == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "publishing not configured"})
+			return
+		}
+		if err := cfg.Publish(); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, dp.ErrBudgetExhausted) {
+				status = http.StatusConflict
+			}
+			writeJSON(w, status, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"published": true})
+	})
+	return mux
+}
+
+// mutating enforces method and bearer-token auth for state-changing
+// endpoints, writing the refusal itself and reporting whether to
+// proceed.
+func mutating(w http.ResponseWriter, r *http.Request, token string) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "POST required"})
+		return false
+	}
+	if token == "" {
+		return true
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+		writeJSON(w, http.StatusForbidden, map[string]any{"error": "missing or invalid bearer token"})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,304 @@
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/datasets"
+	"repro/internal/dp"
+	"repro/internal/grid"
+	"repro/internal/resilience"
+)
+
+// Config sizes an Ingester. The matrix dimensions are fixed up front —
+// that is what bounds memory: the ingester holds one Cx×Cy×Ct matrix
+// and one batch buffer no matter how many readings stream through it.
+type Config struct {
+	// Cx, Cy, Ct are the consumption-matrix dimensions. Readings outside
+	// the box are quarantined, not resized into.
+	Cx, Cy, Ct int
+	// BatchSize is how many accepted readings accumulate before a WAL
+	// append + fsync. Larger batches amortise the fsync; smaller ones
+	// bound how much acknowledged-but-unflushed input a crash can
+	// replay-miss (zero: Ingest flushes its tail, so nothing). Default 256.
+	BatchSize int
+	// DeadLetter receives one JSON line per quarantined record (see
+	// DeadLetterRecord). nil discards quarantined records (still counted).
+	DeadLetter io.Writer
+}
+
+// maxMatrixCells mirrors the loader-side guard in datasets: three
+// individually plausible dimensions must not multiply into an absurd
+// allocation.
+const maxMatrixCells = 1 << 28
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Cx <= 0 || c.Cy <= 0 || c.Ct <= 0 {
+		return c, fmt.Errorf("ingest: matrix dimensions %dx%dx%d must be positive", c.Cx, c.Cy, c.Ct)
+	}
+	if c.Cx > datasets.MaxGridSide || c.Cy > datasets.MaxGridSide || c.Ct > datasets.MaxGridSide {
+		return c, fmt.Errorf("ingest: matrix dimensions %dx%dx%d exceed the supported side %d", c.Cx, c.Cy, c.Ct, datasets.MaxGridSide)
+	}
+	if int64(c.Cx)*int64(c.Cy)*int64(c.Ct) > maxMatrixCells {
+		return c, fmt.Errorf("ingest: matrix dimensions %dx%dx%d exceed %d cells", c.Cx, c.Cy, c.Ct, maxMatrixCells)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	return c, nil
+}
+
+// DeadLetterRecord is the JSONL schema of one quarantined input line.
+type DeadLetterRecord struct {
+	Line   int    `json:"line"`   // 1-based line number within its stream
+	Reason string `json:"reason"` // why the record was refused
+	Raw    string `json:"raw"`    // the offending line, verbatim
+}
+
+// Stats counts an ingester's lifetime traffic.
+type Stats struct {
+	Accepted    int64 // readings applied to the matrix (incl. replayed)
+	Quarantined int64 // readings diverted to the dead letter
+	Batches     int64 // WAL records appended by this process
+	Replayed    int64 // readings recovered from the WAL at open
+}
+
+// Ingester accumulates validated readings into a consumption matrix,
+// write-ahead-logging every batch before applying it. Safe for
+// concurrent use (HTTP posts serialise on the internal lock).
+type Ingester struct {
+	mu      sync.Mutex
+	cfg     Config
+	wal     *WAL
+	m       *grid.Matrix
+	pending []Reading
+	stats   Stats
+	batch   int // ordinal of the next batch commit, for fault payloads
+}
+
+// New opens (or creates) the WAL at walPath, replays every committed
+// batch into a fresh matrix — the crash-recovery path — and returns an
+// ingester ready to append. Replayed readings are trusted (they were
+// validated before logging) but still bounds-checked against the
+// configured dimensions: a WAL recorded under different dimensions must
+// fail loudly, not scribble out of range.
+func New(cfg Config, walPath string) (*Ingester, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	in := &Ingester{cfg: cfg, m: grid.NewMatrix(cfg.Cx, cfg.Cy, cfg.Ct)}
+	wal, err := OpenWAL(walPath, func(batch []Reading) error {
+		for _, r := range batch {
+			if r.X >= cfg.Cx || r.Y >= cfg.Cy || r.T >= cfg.Ct || r.X < 0 || r.Y < 0 || r.T < 0 {
+				return fmt.Errorf("ingest: WAL reading (%d,%d,%d) outside the configured %dx%dx%d matrix — was the WAL written for different dimensions?",
+					r.X, r.Y, r.T, cfg.Cx, cfg.Cy, cfg.Ct)
+			}
+			in.m.AddAt(r.X, r.Y, r.T, r.V)
+		}
+		in.stats.Replayed += int64(len(batch))
+		in.stats.Accepted += int64(len(batch))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	in.wal = wal
+	in.batch = wal.Records()
+	return in, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (in *Ingester) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Dims returns the configured matrix dimensions.
+func (in *Ingester) Dims() (cx, cy, ct int) { return in.cfg.Cx, in.cfg.Cy, in.cfg.Ct }
+
+// Ingest streams one CSV source (`x,y,t,value` lines; an optional
+// leading header row is skipped) through validation into the matrix.
+// Malformed lines are quarantined to the dead letter and the stream
+// continues — one bad meter must not abort an epoch. Any tail batch is
+// flushed before return, so a nil error means every accepted reading is
+// durable in the WAL. The error return is reserved for real faults:
+// stream I/O, WAL append/fsync, context cancellation.
+func (in *Ingester) Ingest(ctx context.Context, r io.Reader) (accepted, quarantined int64, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	startAcc, startQuar := in.stats.Accepted, in.stats.Quarantined
+	sc := bufio.NewScanner(r)
+	// One reading is tens of bytes; a megabyte line is garbage input, but
+	// refuse it gracefully rather than truncating it into a fake record.
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return in.stats.Accepted - startAcc, in.stats.Quarantined - startQuar, err
+		}
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if lineNo == 1 && line == "x,y,t,value" {
+			continue // header row from a piped matrix CSV
+		}
+		if line == "" {
+			continue
+		}
+		rec, perr := in.parseReading(line)
+		if perr != nil {
+			if qerr := in.quarantineLocked(lineNo, perr.Error(), line); qerr != nil {
+				return in.stats.Accepted - startAcc, in.stats.Quarantined - startQuar, qerr
+			}
+			continue
+		}
+		in.pending = append(in.pending, rec)
+		if len(in.pending) >= in.cfg.BatchSize {
+			if cerr := in.commitLocked(ctx); cerr != nil {
+				return in.stats.Accepted - startAcc, in.stats.Quarantined - startQuar, cerr
+			}
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return in.stats.Accepted - startAcc, in.stats.Quarantined - startQuar, fmt.Errorf("ingest: reading stream: %w", serr)
+	}
+	if cerr := in.commitLocked(ctx); cerr != nil {
+		return in.stats.Accepted - startAcc, in.stats.Quarantined - startQuar, cerr
+	}
+	return in.stats.Accepted - startAcc, in.stats.Quarantined - startQuar, nil
+}
+
+// parseReading validates one line into a Reading. Every refusal reason
+// is specific enough for the dead-letter file to be actionable.
+func (in *Ingester) parseReading(line string) (Reading, error) {
+	var r Reading
+	fields := strings.Split(line, ",")
+	if len(fields) != 4 {
+		return r, fmt.Errorf("%d fields, want 4 (x,y,t,value)", len(fields))
+	}
+	for i, dst := range []*int{&r.X, &r.Y, &r.T} {
+		n, err := strconv.Atoi(strings.TrimSpace(fields[i]))
+		if err != nil {
+			return r, fmt.Errorf("%s=%q is not an integer", []string{"x", "y", "t"}[i], fields[i])
+		}
+		*dst = n
+	}
+	if r.X < 0 || r.X >= in.cfg.Cx || r.Y < 0 || r.Y >= in.cfg.Cy {
+		return r, fmt.Errorf("location (%d,%d) outside the %dx%d grid", r.X, r.Y, in.cfg.Cx, in.cfg.Cy)
+	}
+	if r.T < 0 || r.T >= in.cfg.Ct {
+		return r, fmt.Errorf("interval t=%d outside [0,%d)", r.T, in.cfg.Ct)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(fields[3]), 64)
+	if err != nil {
+		return r, fmt.Errorf("value %q is not a number", fields[3])
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return r, fmt.Errorf("non-finite value %q", fields[3])
+	}
+	if v < 0 {
+		return r, fmt.Errorf("negative consumption %g", v)
+	}
+	r.V = v
+	return r, nil
+}
+
+// quarantineLocked writes one dead-letter record. A failing dead-letter
+// sink is a real error: silently discarding evidence of malformed input
+// would defeat the quarantine's point.
+func (in *Ingester) quarantineLocked(line int, reason, raw string) error {
+	in.stats.Quarantined++
+	if in.cfg.DeadLetter == nil {
+		return nil
+	}
+	doc, err := json.Marshal(DeadLetterRecord{Line: line, Reason: reason, Raw: raw})
+	if err != nil {
+		return fmt.Errorf("ingest: encoding dead-letter record: %w", err)
+	}
+	if _, err := in.cfg.DeadLetter.Write(append(doc, '\n')); err != nil {
+		return fmt.Errorf("ingest: writing dead letter: %w", err)
+	}
+	return nil
+}
+
+// commitLocked appends the pending batch to the WAL (write + fsync) and
+// only then applies it to the matrix — the ordering that makes replay
+// exact: the matrix never holds a reading the log does not.
+func (in *Ingester) commitLocked(ctx context.Context) error {
+	if len(in.pending) == 0 {
+		return nil
+	}
+	// Crash-test injection point: a stalled hook lets the harness
+	// SIGKILL the process with a batch accepted but not yet logged.
+	if err := resilience.Fire(ctx, resilience.FaultIngestBatch, in.batch); err != nil {
+		return fmt.Errorf("ingest: batch %d: %w", in.batch, err)
+	}
+	if err := in.wal.Append(ctx, in.pending); err != nil {
+		return err
+	}
+	for _, r := range in.pending {
+		in.m.AddAt(r.X, r.Y, r.T, r.V)
+	}
+	in.batch++
+	in.stats.Batches++
+	// Accepted counts only durable readings: a batch that failed its WAL
+	// append stays pending and uncounted, so stats never claim more than
+	// a crash would replay.
+	in.stats.Accepted += int64(len(in.pending))
+	in.pending = in.pending[:0]
+	return nil
+}
+
+// Flush commits any buffered tail batch.
+func (in *Ingester) Flush(ctx context.Context) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.commitLocked(ctx)
+}
+
+// Snapshot returns a copy of the current consumption matrix.
+func (in *Ingester) Snapshot() *grid.Matrix {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.m.Clone()
+}
+
+// Publish closes the epoch: it flushes the tail batch, charges the
+// spend to the ledger (refusing with dp.ErrBudgetExhausted before
+// anything is written if the lifetime budget would be exceeded), and
+// writes the matrix snapshot atomically — temp file, fsync, rename —
+// so a crash at any instant leaves either no file or a complete one,
+// never a partial, loadable-looking release. ledger may be nil to
+// publish without budget accounting (entry and budget are then ignored).
+func (in *Ingester) Publish(ctx context.Context, path string, ledger *dp.Ledger, entry dp.LedgerEntry, budget float64) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if err := in.commitLocked(ctx); err != nil {
+		return err
+	}
+	if ledger != nil {
+		// Charge strictly before writing: a crash between the two
+		// over-counts spending (safe); the reverse order could publish a
+		// release the ledger never heard about.
+		if err := ledger.Charge(ctx, entry, budget); err != nil {
+			return err
+		}
+	}
+	return datasets.SaveMatrixCSVFile(ctx, path, in.m)
+}
+
+// Close flushes nothing (acknowledged input is already durable) and
+// releases the WAL handle.
+func (in *Ingester) Close() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.wal.Close()
+}

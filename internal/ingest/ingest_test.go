@@ -1,0 +1,351 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/dp"
+	"repro/internal/grid"
+)
+
+// readingsCSV renders readings as the wire format.
+func readingsCSV(rs []Reading) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%d,%d,%d,%g\n", r.X, r.Y, r.T, r.V)
+	}
+	return sb.String()
+}
+
+// genReadings builds n deterministic valid readings for a cx×cy×ct box.
+func genReadings(n, cx, cy, ct int, seed int64) []Reading {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Reading, n)
+	for i := range out {
+		out[i] = Reading{
+			X: rng.Intn(cx), Y: rng.Intn(cy), T: rng.Intn(ct),
+			V: float64(rng.Intn(1000)) / 16, // exact in float64: replay compares bit-for-bit
+		}
+	}
+	return out
+}
+
+func matrixOf(readings []Reading, cx, cy, ct int) *grid.Matrix {
+	m := grid.NewMatrix(cx, cy, ct)
+	for _, r := range readings {
+		m.AddAt(r.X, r.Y, r.T, r.V)
+	}
+	return m
+}
+
+func matricesEqual(a, b *grid.Matrix) bool {
+	if a.Cx != b.Cx || a.Cy != b.Cy || a.Ct != b.Ct {
+		return false
+	}
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIngestQuarantinesMalformed: malformed lines land in the dead
+// letter with line numbers and reasons, valid lines keep flowing, and
+// the stream never aborts.
+func TestIngestQuarantinesMalformed(t *testing.T) {
+	var dead bytes.Buffer
+	in, err := New(Config{Cx: 4, Cy: 4, Ct: 8, BatchSize: 2, DeadLetter: &dead},
+		filepath.Join(t.TempDir(), "q.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	input := strings.Join([]string{
+		"x,y,t,value",     // header: skipped, not quarantined
+		"0,0,0,1.5",       // ok
+		"not,a,record",    // 3 fields
+		"1,1,1,2.5",       // ok
+		"9,0,0,1",         // x out of range
+		"0,9,0,1",         // y out of range
+		"0,0,99,1",        // t out of range
+		"0,0,0,NaN",       // non-finite
+		"0,0,0,-3",        // negative consumption
+		"a,0,0,1",         // non-integer x
+		"2,2,2,notafloat", // bad value
+		"",                // blank: skipped silently
+		"3,3,7,4.25",      // ok
+	}, "\n")
+	accepted, quarantined, err := in.Ingest(context.Background(), strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 3 || quarantined != 8 {
+		t.Fatalf("accepted=%d quarantined=%d, want 3/8", accepted, quarantined)
+	}
+
+	var recs []DeadLetterRecord
+	dec := json.NewDecoder(&dead)
+	for dec.More() {
+		var r DeadLetterRecord
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("%d dead-letter records, want 8", len(recs))
+	}
+	if recs[0].Line != 3 || recs[0].Raw != "not,a,record" || !strings.Contains(recs[0].Reason, "fields") {
+		t.Errorf("first dead letter = %+v", recs[0])
+	}
+	for _, r := range recs {
+		if r.Reason == "" || r.Raw == "" || r.Line == 0 {
+			t.Errorf("incomplete dead-letter record %+v", r)
+		}
+	}
+
+	want := matrixOf([]Reading{{0, 0, 0, 1.5}, {1, 1, 1, 2.5}, {3, 3, 7, 4.25}}, 4, 4, 8)
+	if !matricesEqual(in.Snapshot(), want) {
+		t.Error("matrix does not match the accepted readings")
+	}
+}
+
+// TestIngestCrashReplayIdentical is the core durability property in
+// process form: drop the ingester at an arbitrary point (no Close, no
+// flush beyond what Ingest acknowledged) and a fresh ingester over the
+// same WAL rebuilds the byte-identical matrix.
+func TestIngestCrashReplayIdentical(t *testing.T) {
+	const cx, cy, ct = 6, 5, 12
+	wal := filepath.Join(t.TempDir(), "crash.wal")
+	readings := genReadings(1000, cx, cy, ct, 7)
+
+	in, err := New(Config{Cx: cx, Cy: cy, Ct: ct, BatchSize: 32}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := in.Ingest(context.Background(), strings.NewReader(readingsCSV(readings))); err != nil {
+		t.Fatal(err)
+	}
+	before := in.Snapshot()
+	// Simulated crash: the ingester is abandoned without Close.
+
+	re, err := New(Config{Cx: cx, Cy: cy, Ct: ct, BatchSize: 32}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !matricesEqual(re.Snapshot(), before) {
+		t.Fatal("replayed matrix differs from the pre-crash matrix")
+	}
+	if got := re.Stats(); got.Replayed != 1000 {
+		t.Fatalf("replayed %d readings, want 1000", got.Replayed)
+	}
+	// Byte-identical snapshot, the acceptance criterion's framing.
+	var a, b bytes.Buffer
+	if err := datasets.SaveMatrixCSV(before, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := datasets.SaveMatrixCSV(re.Snapshot(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot CSV bytes differ after replay")
+	}
+}
+
+// TestIngestWALDimensionMismatch: a WAL recorded under different matrix
+// dimensions must refuse to replay rather than scribble out of range or
+// silently drop readings.
+func TestIngestWALDimensionMismatch(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "dims.wal")
+	in, err := New(Config{Cx: 8, Cy: 8, Ct: 8}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := in.Ingest(context.Background(), strings.NewReader("7,7,7,1\n")); err != nil {
+		t.Fatal(err)
+	}
+	in.Close()
+	if _, err := New(Config{Cx: 4, Cy: 4, Ct: 4}, wal); err == nil {
+		t.Fatal("replayed an 8x8x8 WAL into a 4x4x4 matrix")
+	}
+}
+
+// TestPublishAtomicAndLedgerGated: Publish writes a complete, loadable
+// snapshot; with a ledger attached the spend is recorded first, and an
+// over-budget publication is refused with the typed error before any
+// file is touched.
+func TestPublishAtomicAndLedgerGated(t *testing.T) {
+	dir := t.TempDir()
+	const cx, cy, ct = 4, 4, 6
+	in, err := New(Config{Cx: cx, Cy: cy, Ct: ct, BatchSize: 8}, filepath.Join(dir, "p.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	readings := genReadings(200, cx, cy, ct, 3)
+	if _, _, err := in.Ingest(context.Background(), strings.NewReader(readingsCSV(readings))); err != nil {
+		t.Fatal(err)
+	}
+
+	led, err := dp.OpenLedger(filepath.Join(dir, "ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+
+	out := filepath.Join(dir, "epoch1.csv")
+	entry := dp.LedgerEntry{Dataset: "meters", Algorithm: "ingest", EpsPattern: 10, EpsSanitize: 15}
+	if err := in.Publish(context.Background(), out, led, entry, 30); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := datasets.LoadMatrixCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("published snapshot does not load: %v", err)
+	}
+	if !matricesEqual(m, matrixOf(readings, cx, cy, ct)) {
+		t.Fatal("published snapshot differs from the ingested matrix")
+	}
+	if got := led.Spent("meters"); got != 25 {
+		t.Fatalf("ledger spent %g, want 25", got)
+	}
+
+	// Second epoch would need 25 more: over the lifetime 30. Typed
+	// refusal, no file written, no spend recorded.
+	out2 := filepath.Join(dir, "epoch2.csv")
+	err = in.Publish(context.Background(), out2, led, entry, 30)
+	if !errors.Is(err, dp.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	var be *dp.BudgetError
+	if !errors.As(err, &be) || be.Dataset != "meters" || be.Spent != 25 || be.Budget != 30 {
+		t.Fatalf("budget error detail = %+v", be)
+	}
+	if _, serr := os.Stat(out2); !os.IsNotExist(serr) {
+		t.Fatal("refused publication still wrote a file")
+	}
+	if got := led.Spent("meters"); got != 25 {
+		t.Fatalf("refused publication changed the ledger: spent %g", got)
+	}
+}
+
+// TestHTTPIngestAndPublish drives the HTTP surface: authenticated CSV
+// posts accumulate, stats report, and /-/publish maps a budget refusal
+// to 409.
+func TestHTTPIngestAndPublish(t *testing.T) {
+	dir := t.TempDir()
+	const cx, cy, ct = 4, 4, 4
+	in, err := New(Config{Cx: cx, Cy: cy, Ct: ct, BatchSize: 4}, filepath.Join(dir, "h.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	led, err := dp.OpenLedger(filepath.Join(dir, "ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+
+	const token = "sekrit"
+	publishes := 0
+	h := Handler(in, HandlerConfig{Token: token, Publish: func() error {
+		publishes++
+		return in.Publish(context.Background(), filepath.Join(dir, fmt.Sprintf("e%d.csv", publishes)),
+			led, dp.LedgerEntry{Dataset: "m", EpsSanitize: 20}, 30)
+	}})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	post := func(path, body, auth string) (int, map[string]any) {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+		if auth != "" {
+			req.Header.Set("Authorization", "Bearer "+auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	// Unauthenticated and wrong-token posts are refused.
+	if status, _ := post("/ingest", "0,0,0,1\n", ""); status != http.StatusForbidden {
+		t.Fatalf("unauthenticated ingest: %d", status)
+	}
+	if status, _ := post("/ingest", "0,0,0,1\n", "wrong"); status != http.StatusForbidden {
+		t.Fatalf("wrong token: %d", status)
+	}
+	// GET on a mutating endpoint is refused.
+	if resp, err := http.Get(ts.URL + "/ingest"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest: %v %d", err, resp.StatusCode)
+	}
+
+	status, body := post("/ingest", "0,0,0,1.5\n1,1,1,2\nbad,line\n", token)
+	if status != http.StatusOK || body["accepted"].(float64) != 2 || body["quarantined"].(float64) != 1 {
+		t.Fatalf("ingest: %d %v", status, body)
+	}
+
+	if status, _ = post("/-/publish", "", token); status != http.StatusOK {
+		t.Fatalf("first publish: %d", status)
+	}
+	status, body = post("/-/publish", "", token)
+	if status != http.StatusConflict {
+		t.Fatalf("over-budget publish: %d %v, want 409", status, body)
+	}
+	if !strings.Contains(body["error"].(string), "budget") {
+		t.Fatalf("409 body %v does not name the budget", body)
+	}
+
+	// Stats endpoint reflects the traffic.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Stats Stats `json:"stats"`
+		Cx    int   `json:"cx"`
+	}
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Stats.Accepted != 2 || st.Stats.Quarantined != 1 || st.Cx != cx {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestIngestBatchBoundaries: batch commits happen exactly at BatchSize
+// and the tail flush covers the remainder.
+func TestIngestBatchBoundaries(t *testing.T) {
+	in, err := New(Config{Cx: 4, Cy: 4, Ct: 4, BatchSize: 3}, filepath.Join(t.TempDir(), "b.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	readings := genReadings(7, 4, 4, 4, 1)
+	if _, _, err := in.Ingest(context.Background(), strings.NewReader(readingsCSV(readings))); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats(); got.Batches != 3 || got.Accepted != 7 {
+		t.Fatalf("stats = %+v, want 3 batches / 7 accepted", got)
+	}
+}

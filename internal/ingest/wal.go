@@ -1,0 +1,273 @@
+// Package ingest turns the one-shot "load a CSV, build the matrix"
+// pipeline into a durable streaming one: household readings arrive
+// continuously (CSV stream or HTTP POST), every accepted batch is
+// appended to a checksummed write-ahead log before it touches the
+// in-memory consumption matrix, and a crash at any instant replays the
+// log back to the identical matrix. Malformed records are quarantined
+// to a dead-letter sink instead of aborting the stream, and epoch close
+// publishes an atomic snapshot gated by the privacy-budget ledger.
+package ingest
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/resilience"
+)
+
+// Reading is one accepted meter record: household cell (X, Y) consumed
+// V during interval T. It is the unit the WAL stores and the matrix
+// accumulates.
+type Reading struct {
+	X, Y, T int
+	V       float64
+}
+
+// WAL on-disk format:
+//
+//	[8-byte magic "STPTWAL\x01"]
+//	repeated records: [u32 LE payload length][u32 LE CRC32(payload)][payload]
+//
+// where payload is one encoded batch (see encodeBatch). Each Append is
+// a single write followed by fsync, so the only states a crash can
+// leave are: a prefix of complete records (clean), or a prefix plus a
+// short tail (torn write — dropped and truncated on reopen). A
+// full-length record whose checksum fails cannot result from a torn
+// append and is reported as corruption, never silently skipped.
+var walMagic = [8]byte{'S', 'T', 'P', 'T', 'W', 'A', 'L', 1}
+
+const (
+	walHeaderLen  = 8
+	recHeaderLen  = 8       // u32 length + u32 crc
+	readingLen    = 20      // u32 x + u32 y + u32 t + f64 bits
+	maxRecordWire = 1 << 24 // 16 MiB: no legitimate batch comes close
+)
+
+// ErrWALCorrupt marks damage that a torn final append cannot explain —
+// a bad magic, an absurd length field, or a checksum mismatch on a
+// complete record. Callers must stop, not skip: silently dropping an
+// interior batch would replay to a different matrix than the one the
+// ingester built.
+var ErrWALCorrupt = errors.New("ingest: WAL corrupt")
+
+// WAL is an append-only write-ahead log of accepted batches. Not safe
+// for concurrent use; the Ingester serialises access.
+type WAL struct {
+	f       *os.File
+	path    string
+	records int
+	broken  bool // a failed fsync poisons the handle: disk state unknown
+	buf     []byte
+}
+
+// OpenWAL opens (or creates) the log at path, validates every existing
+// record, and hands each decoded batch to replay in append order. A
+// short tail — the signature of a torn final append — is truncated away
+// so the log is ready for new appends; any other damage is an
+// ErrWALCorrupt. replay may be nil to skip delivery (still validates).
+func OpenWAL(path string, replay func(batch []Reading) error) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: opening WAL: %w", err)
+	}
+	w := &WAL{f: f, path: path}
+	if err := w.recover(replay); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// recover scans the log, delivers complete batches, truncates a torn
+// tail, and positions the handle for appending.
+func (w *WAL) recover(replay func(batch []Reading) error) error {
+	info, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("ingest: WAL stat: %w", err)
+	}
+	size := info.Size()
+	if size < walHeaderLen {
+		// Empty or a crash during header creation: either way no record
+		// was ever durable, but refuse if the bytes present are not a
+		// prefix of our magic — that is someone else's file.
+		if size > 0 {
+			head := make([]byte, size)
+			if _, err := w.f.ReadAt(head, 0); err != nil {
+				return fmt.Errorf("ingest: reading WAL header: %w", err)
+			}
+			if string(head) != string(walMagic[:size]) {
+				return fmt.Errorf("%w: %s is not a WAL (bad magic)", ErrWALCorrupt, w.path)
+			}
+		}
+		if err := w.f.Truncate(0); err != nil {
+			return fmt.Errorf("ingest: resetting WAL: %w", err)
+		}
+		if _, err := w.f.WriteAt(walMagic[:], 0); err != nil {
+			return fmt.Errorf("ingest: writing WAL header: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("ingest: syncing WAL header: %w", err)
+		}
+		_, err := w.f.Seek(walHeaderLen, io.SeekStart)
+		return err
+	}
+
+	var head [walHeaderLen]byte
+	if _, err := w.f.ReadAt(head[:], 0); err != nil {
+		return fmt.Errorf("ingest: reading WAL header: %w", err)
+	}
+	if head != walMagic {
+		return fmt.Errorf("%w: %s is not a WAL (bad magic)", ErrWALCorrupt, w.path)
+	}
+
+	off := int64(walHeaderLen)
+	var rec [recHeaderLen]byte
+	for off < size {
+		if size-off < recHeaderLen {
+			break // torn tail: partial record header
+		}
+		if _, err := w.f.ReadAt(rec[:], off); err != nil {
+			return fmt.Errorf("ingest: reading WAL record at %d: %w", off, err)
+		}
+		n := int64(binary.LittleEndian.Uint32(rec[0:4]))
+		sum := binary.LittleEndian.Uint32(rec[4:8])
+		if n == 0 || n > maxRecordWire {
+			// A complete length field with a nonsense value cannot come
+			// from a torn single-write append.
+			return fmt.Errorf("%w: record at offset %d claims %d bytes", ErrWALCorrupt, off, n)
+		}
+		if size-off-recHeaderLen < n {
+			break // torn tail: partial payload
+		}
+		payload := make([]byte, n)
+		if _, err := w.f.ReadAt(payload, off+recHeaderLen); err != nil {
+			return fmt.Errorf("ingest: reading WAL record at %d: %w", off, err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return fmt.Errorf("%w: checksum mismatch on complete record at offset %d", ErrWALCorrupt, off)
+		}
+		batch, err := DecodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("%w: record at offset %d: %v", ErrWALCorrupt, off, err)
+		}
+		if replay != nil {
+			if err := replay(batch); err != nil {
+				return err
+			}
+		}
+		w.records++
+		off += recHeaderLen + n
+	}
+	if off < size {
+		// Drop the torn tail so the next append starts on a record
+		// boundary; the lost suffix was never acknowledged as durable.
+		if err := w.f.Truncate(off); err != nil {
+			return fmt.Errorf("ingest: truncating torn WAL tail: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("ingest: syncing truncated WAL: %w", err)
+		}
+	}
+	_, err = w.f.Seek(off, io.SeekStart)
+	return err
+}
+
+// Records returns how many complete batches the log holds.
+func (w *WAL) Records() int { return w.records }
+
+// Append encodes batch as one record, writes it in a single call, and
+// fsyncs before returning — only then may the caller apply the batch to
+// in-memory state. A failed fsync poisons the WAL (disk state is
+// unknowable) and every later Append is refused; the process must
+// restart and recover from the log.
+func (w *WAL) Append(ctx context.Context, batch []Reading) error {
+	if w.broken {
+		return fmt.Errorf("ingest: WAL %s is poisoned by an earlier fsync failure", w.path)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	payload := encodeBatch(w.buf[:0], batch)
+	w.buf = payload // reuse the allocation across appends
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	rec := append(hdr[:], payload...)
+	if _, err := w.f.Write(rec); err != nil {
+		w.broken = true
+		return fmt.Errorf("ingest: appending WAL record: %w", err)
+	}
+	// Fault window: the record's bytes are written but not yet durable.
+	// A hook error here simulates fsync failure; a stalled hook lets a
+	// crash test SIGKILL the process mid-commit.
+	if err := resilience.Fire(ctx, resilience.FaultWALSync, w.records); err != nil {
+		w.broken = true
+		return fmt.Errorf("ingest: syncing WAL record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = true
+		return fmt.Errorf("ingest: syncing WAL record: %w", err)
+	}
+	w.records++
+	return nil
+}
+
+// Close releases the file handle. The log is already durable — every
+// acknowledged Append fsynced — so Close has nothing to flush.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// encodeBatch appends the canonical encoding of batch to dst: u32 count
+// then per reading u32 x, u32 y, u32 t, f64 bits, all little-endian.
+func encodeBatch(dst []byte, batch []Reading) []byte {
+	var tmp [readingLen]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(batch)))
+	dst = append(dst, tmp[:4]...)
+	for _, r := range batch {
+		binary.LittleEndian.PutUint32(tmp[0:4], uint32(r.X))
+		binary.LittleEndian.PutUint32(tmp[4:8], uint32(r.Y))
+		binary.LittleEndian.PutUint32(tmp[8:12], uint32(r.T))
+		binary.LittleEndian.PutUint64(tmp[12:20], math.Float64bits(r.V))
+		dst = append(dst, tmp[:]...)
+	}
+	return dst
+}
+
+// DecodeBatch parses one record payload. It must hold against arbitrary
+// bytes (it is the FuzzWALDecode target): every accepted payload has an
+// exact length for its count, finite values, and re-encodes to the
+// identical bytes — the encoding is canonical, so checksummed records
+// decode to exactly one batch.
+func DecodeBatch(payload []byte) ([]Reading, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("payload %d bytes, want at least 4", len(payload))
+	}
+	count := binary.LittleEndian.Uint32(payload[:4])
+	want := 4 + int64(count)*readingLen
+	if int64(len(payload)) != want {
+		return nil, fmt.Errorf("payload %d bytes for %d readings, want %d", len(payload), count, want)
+	}
+	if count == 0 {
+		return nil, errors.New("empty batch")
+	}
+	batch := make([]Reading, count)
+	for i := range batch {
+		p := payload[4+i*readingLen:]
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p[12:20]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("reading %d: non-finite value", i)
+		}
+		batch[i] = Reading{
+			X: int(binary.LittleEndian.Uint32(p[0:4])),
+			Y: int(binary.LittleEndian.Uint32(p[4:8])),
+			T: int(binary.LittleEndian.Uint32(p[8:12])),
+			V: v,
+		}
+	}
+	return batch, nil
+}

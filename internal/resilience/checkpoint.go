@@ -1,20 +1,29 @@
 package resilience
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 )
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk format; checkpointMinor tracks
+// additive revisions within it. A reader refuses files from a newer
+// minor as well as a different major: a newer writer may have recorded
+// cell fields this build would silently drop on the rewrite that
+// follows every Record, turning a resume into quiet data loss.
+const (
+	checkpointVersion = 1
+	checkpointMinor   = 0
+)
 
 // checkpointFile is the JSON document persisted to disk.
 type checkpointFile struct {
 	Version int                        `json:"version"`
+	Minor   int                        `json:"minor,omitempty"`
 	Cells   map[string]json.RawMessage `json:"cells"`
 }
 
@@ -52,6 +61,13 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 	}
 	if f.Version != checkpointVersion {
 		return nil, fmt.Errorf("resilience: checkpoint %s%s has version %d, want %d", path, preserveCorrupt(path, raw), f.Version, checkpointVersion)
+	}
+	if f.Minor > checkpointMinor {
+		// Refuse before any cell is adopted: half-applying a
+		// newer-format file and then rewriting it would drop whatever
+		// the newer writer knew about.
+		return nil, fmt.Errorf("resilience: checkpoint %s%s was written by a newer release (format %d.%d, this build reads %d.%d)",
+			path, preserveCorrupt(path, raw), f.Version, f.Minor, checkpointVersion, checkpointMinor)
 	}
 	if f.Cells != nil {
 		c.done = f.Cells
@@ -144,29 +160,12 @@ func (c *Checkpoint) saveLocked() error {
 	if c.path == "" {
 		return nil
 	}
-	raw, err := json.Marshal(checkpointFile{Version: checkpointVersion, Cells: c.done})
+	raw, err := json.Marshal(checkpointFile{Version: checkpointVersion, Minor: checkpointMinor, Cells: c.done})
 	if err != nil {
 		return fmt.Errorf("resilience: encoding checkpoint: %w", err)
 	}
-	dir := filepath.Dir(c.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("resilience: writing checkpoint: %w", err)
-	}
-	_, werr := tmp.Write(raw)
-	if werr == nil {
-		werr = tmp.Sync()
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resilience: writing checkpoint: %w", werr)
-	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resilience: committing checkpoint: %w", err)
-	}
-	return nil
+	return AtomicWriteFile(context.Background(), c.path, func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	})
 }

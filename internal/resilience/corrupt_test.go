@@ -58,6 +58,58 @@ func TestVersionMismatchPreserved(t *testing.T) {
 	}
 }
 
+// TestNewerMinorVersionRefusedCleanly: a checkpoint written by a newer
+// minor revision of the same format must be refused outright — never
+// half-applied. Opening it returns a nil checkpoint (so no cell from the
+// newer file can leak into this build's rewrite-on-Record cycle), names
+// both format versions, and preserves the file for the newer binary to
+// resume from.
+func TestNewerMinorVersionRefusedCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	bad := []byte(`{"version":1,"minor":99,"cells":{"fig6/CER/uniform/stpt/rep0":{"mre":12.5,"novel_field":true}}}`)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCheckpoint(path)
+	if err == nil {
+		t.Fatal("opened a checkpoint from a newer minor version")
+	}
+	if c != nil {
+		t.Fatalf("refused open returned a live checkpoint with %d cells — a half-apply hazard", c.Len())
+	}
+	for _, want := range []string{"1.99", "1.0", "newer"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if saved, rerr := os.ReadFile(path + ".corrupt"); rerr != nil || string(saved) != string(bad) {
+		t.Errorf("newer-minor file not preserved: %v", rerr)
+	}
+	// The original must survive untouched so the newer binary can still
+	// resume the sweep.
+	if orig, rerr := os.ReadFile(path); rerr != nil || string(orig) != string(bad) {
+		t.Errorf("original newer-minor file was disturbed: %v", rerr)
+	}
+}
+
+// TestOlderMinorVersionStillOpens: files from an older writer of the
+// same major version (no minor field at all — the pre-minor format)
+// must keep loading; the guard is one-directional.
+func TestOlderMinorVersionStillOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	old := []byte(`{"version":1,"cells":{"k":{"mre":1.5}}}`)
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("pre-minor checkpoint refused: %v", err)
+	}
+	if !c.Lookup("k", nil) {
+		t.Error("cell from pre-minor checkpoint missing")
+	}
+}
+
 // TestHealthyCheckpointLeavesNoCorruptFile: the preservation path must
 // not fire on clean opens, including the does-not-exist-yet case.
 func TestHealthyCheckpointLeavesNoCorruptFile(t *testing.T) {

@@ -31,6 +31,25 @@ const (
 	// drain, under the drain-deadline context. A hook that blocks on
 	// ctx.Done() simulates a mid-drain fault and forces the abort path.
 	FaultServeDrain Fault = "serve/drain"
+	// FaultIngestBatch fires before an accepted batch is appended to the
+	// ingest WAL, with the batch ordinal (int) as payload. A hook that
+	// blocks lets a kill-and-replay test SIGKILL the ingester before the
+	// record hits the log.
+	FaultIngestBatch Fault = "ingest/batch"
+	// FaultWALSync fires after a WAL record's bytes are written but
+	// before the file is fsynced, with the record ordinal as payload.
+	// Hooks simulate fsync failure (return an error → the batch must not
+	// be applied) or stall so a kill lands in the written-but-unsynced
+	// window.
+	FaultWALSync Fault = "ingest/wal-sync"
+	// FaultAtomicRename fires inside AtomicWriteFile between the temp
+	// file's fsync and the rename, with the destination path as payload —
+	// the commit window where a kill must leave the previous file intact.
+	FaultAtomicRename Fault = "resilience/atomic-rename"
+	// FaultLedgerAppend fires after a privacy-ledger entry is written but
+	// before it is fsynced, with the entry sequence number as payload, so
+	// tests can crash a publisher between charging and committing.
+	FaultLedgerAppend Fault = "dp/ledger-append"
 )
 
 // Hook is a fault handler. Returning a non-nil error makes the injection

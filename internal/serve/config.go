@@ -25,8 +25,15 @@ type Config struct {
 	// long to finish before the server force-closes and Run reports a
 	// forced abort. Default 5s.
 	DrainTimeout time.Duration
-	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	// RetryAfter is the hint returned with 429 responses. Default 1s;
+	// the advertised value is capped at maxRetryAfterSeconds regardless.
 	RetryAfter time.Duration
+	// ReloadToken enables the authenticated POST /-/reload endpoint:
+	// requests must carry `Authorization: Bearer <token>`. Empty (the
+	// default) disables the endpoint entirely (404) — an unauthenticated
+	// reload trigger would let anyone on the network churn the store.
+	// SIGHUP-driven reload via Server.Reload works either way.
+	ReloadToken string
 }
 
 func (c Config) withDefaults(defaultCapacity int) Config {

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/grid"
 	"repro/internal/query"
@@ -56,6 +58,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/-/reload", s.handleReload)
 	mux.Handle("/query", s.withDeadline(s.withAdmission(http.HandlerFunc(s.handleQuery))))
 	return s.recoverPanics(mux)
 }
@@ -67,13 +70,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
-// handleReadyz is readiness: false (503) while draining or while the
-// admission gate is saturated, so balancers steer new traffic away
-// before it gets shed with 429s.
+// handleReadyz is readiness: false (503) while draining, while the
+// admission gate is saturated, or while the daemon is still serving
+// nothing because its initial dataset load failed — so balancers steer
+// new traffic away before it gets shed with 429s or 400s. A *failed
+// reload* does not flip readiness: the previous generation keeps
+// answering.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		writeError(w, http.StatusServiceUnavailable, "draining")
+	case s.initialLoadFailed.Load():
+		writeError(w, http.StatusServiceUnavailable, "initial dataset load failed; fix the files and reload")
 	case s.gate.saturated():
 		writeError(w, http.StatusServiceUnavailable, "at capacity")
 	default:
@@ -99,6 +107,36 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+// handleReload is the authenticated zero-downtime reload trigger:
+//
+//	POST /-/reload   with Authorization: Bearer <Config.ReloadToken>
+//
+// It re-sniffs every configured dataset and atomically swaps the new
+// set in; in-flight queries finish on the old snapshot. Disabled (404)
+// when no token is configured, 403 on a missing or wrong token, and a
+// failed reload answers 500 while the old data keeps serving.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReloadToken == "" {
+		writeError(w, http.StatusNotFound, "reload not enabled (start with a reload token)")
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.ReloadToken)) != 1 {
+		writeError(w, http.StatusForbidden, "missing or invalid bearer token")
+		return
+	}
+	if err := s.Reload(); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload failed; previous datasets still serving: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "datasets": s.store.Names()})
 }
 
 // handleQuery answers one 3-orthotope range query:

@@ -59,6 +59,23 @@ func (s *Server) withDeadline(next http.Handler) http.Handler {
 	})
 }
 
+// maxRetryAfterSeconds caps the advertised 429 backoff. Shed load
+// clears in seconds here — capacity frees as soon as a query's O(1)
+// lookup finishes — so telling a client to stay away for minutes (a
+// misconfigured RetryAfter, or a duration arithmetic slip) would turn
+// a momentary spike into self-inflicted unavailability.
+const maxRetryAfterSeconds = 60
+
+// retryAfterSeconds rounds the configured hint up to whole seconds and
+// caps it.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
+}
+
 // withAdmission gates the request through the bounded-concurrency
 // controller: full queue → immediate 429 with Retry-After, deadline
 // expiry while queued → 504. Only admitted requests reach the handler.
@@ -67,7 +84,7 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 		release, err := s.gate.acquire(r.Context())
 		if err != nil {
 			if errors.Is(err, errShed) {
-				w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 				writeError(w, http.StatusTooManyRequests, "server at capacity; retry later")
 				return
 			}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"sync/atomic"
 
 	"repro/internal/parallel"
@@ -29,6 +30,12 @@ type Server struct {
 	gate     *gate
 	base     context.Context // value-only: carries the fault injector
 	draining atomic.Bool
+	// initialLoadFailed makes /readyz report 503 when the daemon came up
+	// without any usable releases. A later successful reload clears it —
+	// the operator fixed the files and rang the reload bell, so the
+	// balancer may send traffic again. A *failed* reload never sets it:
+	// the old generation is still serving.
+	initialLoadFailed atomic.Bool
 }
 
 // New builds a Server. ctx is the value context requests inherit — pass
@@ -48,6 +55,30 @@ func New(ctx context.Context, store *Store, cfg Config) *Server {
 
 // Draining reports whether the server has begun graceful shutdown.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// MarkInitialLoad records the outcome of the startup dataset load. A
+// daemon whose initial load failed keeps running — /healthz stays 200,
+// /-/reload and SIGHUP can repair it — but /readyz answers 503 so no
+// balancer routes queries at an empty store.
+func (s *Server) MarkInitialLoad(err error) {
+	s.initialLoadFailed.Store(err != nil)
+}
+
+// Reload re-reads the store's configured specs and swaps the new
+// release set in atomically; in-flight queries finish on the old
+// snapshot. On failure the old data keeps serving and the error is
+// both logged (structured, to stderr) and returned. Success clears the
+// initial-load-failed readiness latch.
+func (s *Server) Reload() error {
+	if err := s.store.Reload(); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: event=reload outcome=failed kept=%v error=%q\n",
+			s.store.Names(), err.Error())
+		return err
+	}
+	s.initialLoadFailed.Store(false)
+	fmt.Fprintf(os.Stderr, "serve: event=reload outcome=ok datasets=%v\n", s.store.Names())
+	return nil
+}
 
 // Run serves on ln until ctx is cancelled (typically by SIGINT/SIGTERM
 // via signal.NotifyContext), then drains: the listener closes so no new

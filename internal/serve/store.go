@@ -8,8 +8,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/datasets"
 	"repro/internal/grid"
@@ -25,90 +28,175 @@ type Release struct {
 	Index  *grid.PrefixSum
 }
 
-// Store holds the loaded releases by name. Loading happens at startup
-// (or test setup); serving only reads, so the lock is only contended
-// during reconfiguration.
+// releaseSet is one immutable generation of loaded releases. Readers
+// grab the whole set with a single atomic load and keep using it for
+// the rest of their request, so a concurrent swap can never show them a
+// half-updated view; the old generation lives until its last in-flight
+// query returns it to the garbage collector.
+type releaseSet struct {
+	rel   map[string]*Release
+	names []string // sorted
+}
+
+func newReleaseSet(rel map[string]*Release) *releaseSet {
+	names := make([]string, 0, len(rel))
+	for n := range rel {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return &releaseSet{rel: rel, names: names}
+}
+
+// Store holds the current release set behind an atomic pointer. Reads
+// (every query) are lock-free; writers — Add and Reload — serialise on
+// a mutex, build a complete replacement set off to the side, and swap
+// it in with one pointer store. That swap is the zero-downtime reload:
+// in-flight queries finish on the snapshot they already loaded while
+// new requests see the new generation.
 type Store struct {
-	mu  sync.RWMutex
-	rel map[string]*Release
+	mu    sync.Mutex // serialises writers; readers never take it
+	cur   atomic.Pointer[releaseSet]
+	specs []LoadSpec // the configured load set, re-read by Reload
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{rel: make(map[string]*Release)} }
+func NewStore() *Store {
+	s := &Store{}
+	s.cur.Store(newReleaseSet(map[string]*Release{}))
+	return s
+}
 
 // Add indexes a matrix and registers it under name, replacing any
-// previous release with that name.
+// previous release with that name. Releases added this way are not part
+// of the Reload spec set — a later Reload rebuilds from the configured
+// specs only.
 func (s *Store) Add(name string, m *grid.Matrix) *Release {
 	r := &Release{Name: name, Matrix: m, Index: grid.NewPrefixSum(m)}
 	s.mu.Lock()
-	s.rel[name] = r
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	next := make(map[string]*Release, len(cur.rel)+1)
+	for k, v := range cur.rel {
+		next[k] = v
+	}
+	next[name] = r
+	s.cur.Store(newReleaseSet(next))
 	return r
 }
 
-// Get looks a release up by name. The empty name resolves when exactly
-// one release is loaded — the common single-matrix deployment — and is
-// ambiguous otherwise.
+// Get looks a release up by name in the current generation. The empty
+// name resolves when exactly one release is loaded — the common
+// single-matrix deployment — and is ambiguous otherwise.
 func (s *Store) Get(name string) (*Release, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	set := s.cur.Load()
 	if name == "" {
-		if len(s.rel) == 1 {
-			for _, r := range s.rel {
-				return r, nil
-			}
+		if len(set.rel) == 1 {
+			return set.rel[set.names[0]], nil
 		}
-		return nil, fmt.Errorf("serve: %d releases loaded; pass d=<name> (one of %v)", len(s.rel), s.namesLocked())
+		return nil, fmt.Errorf("serve: %d releases loaded; pass d=<name> (one of %v)", len(set.rel), set.names)
 	}
-	r, ok := s.rel[name]
+	r, ok := set.rel[name]
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown release %q (loaded: %v)", name, s.namesLocked())
+		return nil, fmt.Errorf("serve: unknown release %q (loaded: %v)", name, set.names)
 	}
 	return r, nil
 }
 
 // Names returns the loaded release names, sorted.
 func (s *Store) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.namesLocked()
-}
-
-func (s *Store) namesLocked() []string {
-	names := make([]string, 0, len(s.rel))
-	for n := range s.rel {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return append([]string(nil), s.cur.Load().names...)
 }
 
 // Len returns the number of loaded releases.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.rel)
+func (s *Store) Len() int { return len(s.cur.Load().rel) }
+
+// LoadSpec names one release and where to (re)load it from. Cx/Cy only
+// matter for household-format files (0 infers a power-of-two grid, as
+// in datasets.LoadCSV).
+type LoadSpec struct {
+	Name   string
+	Path   string
+	Cx, Cy int
 }
 
-// LoadFile loads one release from a CSV file, sniffing the format from
-// the header row: a stpt-run cell list (x,y,t,value) loads directly; a
-// stpt-datagen household file (x,y,v0,...) is aggregated into its
-// consumption matrix first (cx/cy as in datasets.LoadCSV: 0 infers a
-// power-of-two grid).
-func (s *Store) LoadFile(name, path string, cx, cy int) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
+// ParseLoadSpec parses a -load argument: "name=path", or a bare path
+// whose file stem becomes the release name.
+func ParseLoadSpec(arg string, cx, cy int) (LoadSpec, error) {
+	name, path, ok := strings.Cut(arg, "=")
+	if !ok {
+		path = arg
+		name = strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
 	}
-	defer f.Close()
-	// 64 KiB of lookahead comfortably covers the widest header row a
-	// household file produces, so sniffing never truncates mid-line.
-	m, err := loadMatrix(bufio.NewReaderSize(f, 1<<16), path, cx, cy)
+	if name == "" || path == "" {
+		return LoadSpec{}, fmt.Errorf("serve: load spec %q: want name=path", arg)
+	}
+	return LoadSpec{Name: name, Path: path, Cx: cx, Cy: cy}, nil
+}
+
+// LoadAll configures the store's spec set and loads it. The load is
+// all-or-nothing: every file is read, sniffed, and indexed into a
+// complete new generation before one atomic swap publishes it, so a
+// failure — even on the last file — leaves the current releases exactly
+// as they were. The specs are remembered either way, so a failed
+// initial load can be retried with Reload once the files are fixed.
+func (s *Store) LoadAll(specs []LoadSpec) error {
+	s.mu.Lock()
+	s.specs = append([]LoadSpec(nil), specs...)
+	s.mu.Unlock()
+	return s.Reload()
+}
+
+// Reload re-reads every configured spec from disk and atomically swaps
+// the complete new set in. In-flight queries keep answering from the
+// generation they already hold; no request ever observes a partial set.
+func (s *Store) Reload() error {
+	s.mu.Lock()
+	specs := append([]LoadSpec(nil), s.specs...)
+	s.mu.Unlock()
+	if len(specs) == 0 {
+		return errors.New("serve: reload: no load specs configured (use LoadAll)")
+	}
+	next := make(map[string]*Release, len(specs))
+	for _, sp := range specs {
+		if _, dup := next[sp.Name]; dup {
+			return fmt.Errorf("serve: reload: duplicate release name %q", sp.Name)
+		}
+		m, err := loadSpecFile(sp)
+		if err != nil {
+			return err
+		}
+		next[sp.Name] = &Release{Name: sp.Name, Matrix: m, Index: grid.NewPrefixSum(m)}
+	}
+	s.mu.Lock()
+	s.cur.Store(newReleaseSet(next))
+	s.mu.Unlock()
+	return nil
+}
+
+// LoadFile loads one release from a CSV file into the current set,
+// sniffing the format from the header row: a stpt-run cell list
+// (x,y,t,value) loads directly; a stpt-datagen household file
+// (x,y,v0,...) is aggregated into its consumption matrix first (cx/cy
+// as in datasets.LoadCSV: 0 infers a power-of-two grid).
+func (s *Store) LoadFile(name, path string, cx, cy int) error {
+	m, err := loadSpecFile(LoadSpec{Name: name, Path: path, Cx: cx, Cy: cy})
 	if err != nil {
 		return err
 	}
 	s.Add(name, m)
 	return nil
+}
+
+// loadSpecFile opens, sniffs, and parses one spec's file.
+func loadSpecFile(sp LoadSpec) (*grid.Matrix, error) {
+	f, err := os.Open(sp.Path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer f.Close()
+	// 64 KiB of lookahead comfortably covers the widest header row a
+	// household file produces, so sniffing never truncates mid-line.
+	return loadMatrix(bufio.NewReaderSize(f, 1<<16), sp.Path, sp.Cx, sp.Cy)
 }
 
 // loadMatrix sniffs and parses either CSV shape from r.
