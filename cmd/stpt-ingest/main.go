@@ -19,6 +19,15 @@
 // A publication that would exceed the lifetime budget is refused: the
 // typed ledger error goes to stderr and the process exits non-zero (the
 // HTTP daemon answers 409 Conflict and keeps ingesting).
+//
+// Disk use is bounded: the WAL is folded into a checksummed snapshot
+// once -compact-batches batches or -compact-bytes of log accumulate
+// (or on POST /-/compact), the dead-letter file rotates at
+// -dead-letter-max, and -ledger-compact folds settled ledger lines
+// into a one-line checkpoint at startup. An http(s):// -in source is
+// fetched with bounded retries (-source-retries) honoring Retry-After.
+// While the disk is full the daemon answers 503 with Retry-After and
+// resumes, losing nothing, once space returns.
 package main
 
 import (
@@ -26,10 +35,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/dp"
@@ -52,6 +63,11 @@ func main() {
 		datasetF   = flag.String("dataset", "", "dataset name charged in the ledger (default: the -publish file name)")
 		epsP       = flag.Float64("eps-pattern", 0, "ε charged as pattern budget per publication")
 		epsS       = flag.Float64("eps-sanitize", 0, "ε charged as sanitisation budget per publication")
+		compactN   = flag.Int("compact-batches", 1024, "fold the WAL into a snapshot every N committed batches (0 = only on demand)")
+		compactB   = flag.Int64("compact-bytes", 64<<20, "fold the WAL into a snapshot once the active segment exceeds this many bytes (0 = only on demand)")
+		deadMax    = flag.Int64("dead-letter-max", ingest.DefaultDeadLetterMax, "rotate the dead-letter file past this many bytes; one rotated generation is kept, older records are dropped and counted")
+		srcRetries = flag.Int("source-retries", 5, "attempts when -in is an http(s):// URL (deterministic backoff, honours Retry-After)")
+		ledgerComp = flag.Bool("ledger-compact", false, "fold the ledger's settled entries into a checkpoint line on startup (spending is preserved exactly)")
 	)
 	flag.Parse()
 	if *walPath == "" {
@@ -67,17 +83,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var dead *os.File
 	var err error
+	cfg := ingest.Config{
+		Cx: *gridSide, Cy: *gridSide, Ct: *tLen, BatchSize: *batch,
+		CompactBatches: *compactN, CompactBytes: *compactB,
+	}
 	if *deadPath != "" {
-		dead, err = os.OpenFile(*deadPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		dead, err := ingest.OpenDeadLetter(*deadPath, *deadMax)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer dead.Close()
-	}
-	cfg := ingest.Config{Cx: *gridSide, Cy: *gridSide, Ct: *tLen, BatchSize: *batch}
-	if dead != nil {
 		cfg.DeadLetter = dead
 	}
 	in, err := ingest.New(cfg, *walPath)
@@ -96,6 +112,14 @@ func main() {
 			fatalf("%v", err)
 		}
 		defer ledger.Close()
+		if *ledgerComp {
+			if err := ledger.Compact(ctx); err != nil {
+				fatalf("compacting ledger: %v", err)
+			}
+			if n := ledger.Compacted(); n > 0 {
+				fmt.Fprintf(os.Stderr, "stpt-ingest: ledger checkpoint folds %d entries\n", n)
+			}
+		}
 	}
 	dataset := *datasetF
 	if dataset == "" && *publish != "" {
@@ -116,8 +140,18 @@ func main() {
 		return
 	}
 
-	src := os.Stdin
-	if *inPath != "" && *inPath != "-" {
+	var src io.Reader = os.Stdin
+	switch {
+	case strings.HasPrefix(*inPath, "http://"), strings.HasPrefix(*inPath, "https://"):
+		p := ingest.DefaultSourcePolicy()
+		p.MaxAttempts = *srcRetries
+		body, err := ingest.FetchHTTP(ctx, nil, *inPath, p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer body.Close()
+		src = body
+	case *inPath != "" && *inPath != "-":
 		f, err := os.Open(*inPath)
 		if err != nil {
 			fatalf("%v", err)

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -32,12 +33,39 @@ import (
 // spending, which is the conservative direction for a privacy budget.
 // A bad checksum anywhere except the final line is corruption and
 // refuses to open.
+//
+// Compaction (Compact) folds settled entries into a single checkpoint
+// line so the file does not grow without bound across process
+// lifetimes. The checkpoint records, per dataset, the exact running
+// spend — computed by the same left-to-right fold spentLocked uses —
+// so post-compaction budget arithmetic is bit-identical to summing the
+// original entries. A checkpoint is only legal as the first line.
 type Ledger struct {
 	mu      sync.Mutex
 	path    string
 	f       *os.File
 	entries []LedgerEntry
-	broken  bool // failed append: disk state unknown, refuse further charges
+	base    int                // entries folded into the checkpoint line
+	spent0  map[string]float64 // per-dataset ε folded into the checkpoint
+	end     int64              // durable end offset, for append self-heal
+	broken  bool               // failed fsync: disk state unknown, refuse further charges
+}
+
+// ledgerCheckpoint is the JSON payload of a checkpoint line, wrapped as
+// {"checkpoint": {...}} so it can never be confused with an entry
+// (entries have no "checkpoint" key).
+type ledgerCheckpoint struct {
+	// Seq is the number of entries folded in; live entries continue the
+	// sequence at Seq+1.
+	Seq int `json:"seq"`
+	// Spent is the per-dataset folded ε, in spentLocked's fold order.
+	Spent map[string]float64 `json:"spent"`
+}
+
+// ledgerLine is the union shape of one ledger line's JSON.
+type ledgerLine struct {
+	Checkpoint *ledgerCheckpoint `json:"checkpoint,omitempty"`
+	LedgerEntry
 }
 
 // LedgerEntry is one publication's recorded spend. EpsPattern and
@@ -54,6 +82,13 @@ type LedgerEntry struct {
 
 // Eps returns the entry's total privacy loss, ε_pattern + ε_sanitize.
 func (e LedgerEntry) Eps() float64 { return e.EpsPattern + e.EpsSanitize }
+
+// ErrLedgerPoisoned marks a ledger whose last fsync (or post-checkpoint
+// reopen) failed: the durable state is unknowable through the live
+// handle, so every further charge is refused until a restart re-reads
+// the file. No ε is ever counted as spent unless its fsync returned
+// success — the poisoned state is what prevents silent spending.
+var ErrLedgerPoisoned = errors.New("dp: ledger poisoned by a failed fsync")
 
 // ErrBudgetExhausted is the sentinel every budget refusal wraps;
 // callers gate on errors.Is(err, ErrBudgetExhausted) and exit non-zero
@@ -92,8 +127,8 @@ func OpenLedger(path string) (*Ledger, error) {
 	return l, nil
 }
 
-// recover scans the file, loading valid entries and truncating a torn
-// final line.
+// recover scans the file, loading the optional leading checkpoint and
+// every valid entry, truncating a torn final line.
 func (l *Ledger) recover() error {
 	raw, err := os.ReadFile(l.path)
 	if err != nil {
@@ -108,7 +143,7 @@ func (l *Ledger) recover() error {
 			break
 		}
 		line := raw[off : off+nl]
-		entry, perr := parseLedgerLine(line)
+		rec, perr := parseLedgerLine(line)
 		if perr != nil {
 			if off+nl+1 == len(raw) {
 				// Complete-looking final line that fails its checksum: the
@@ -119,10 +154,19 @@ func (l *Ledger) recover() error {
 			}
 			return fmt.Errorf("dp: ledger %s line %d: %w", l.path, lineNo, perr)
 		}
-		if want := len(l.entries) + 1; entry.Seq != want {
-			return fmt.Errorf("dp: ledger %s line %d: sequence %d, want %d (entries missing or reordered)", l.path, lineNo, entry.Seq, want)
+		if rec.Checkpoint != nil {
+			if lineNo != 1 {
+				return fmt.Errorf("dp: ledger %s line %d: checkpoint after entries — the file was spliced", l.path, lineNo)
+			}
+			l.base = rec.Checkpoint.Seq
+			l.spent0 = rec.Checkpoint.Spent
+			off += nl + 1
+			continue
 		}
-		l.entries = append(l.entries, entry)
+		if want := l.base + len(l.entries) + 1; rec.Seq != want {
+			return fmt.Errorf("dp: ledger %s line %d: sequence %d, want %d (entries missing or reordered)", l.path, lineNo, rec.Seq, want)
+		}
+		l.entries = append(l.entries, rec.LedgerEntry)
 		off += nl + 1
 	}
 	if off < len(raw) {
@@ -137,30 +181,43 @@ func (l *Ledger) recover() error {
 	if _, err := l.f.Seek(int64(off), 0); err != nil {
 		return err
 	}
+	l.end = int64(off)
 	return nil
 }
 
-// parseLedgerLine validates `<crc32-hex> <json>` and decodes the entry.
-func parseLedgerLine(line []byte) (LedgerEntry, error) {
-	var e LedgerEntry
+// parseLedgerLine validates `<crc32-hex> <json>` and decodes either an
+// entry or a checkpoint.
+func parseLedgerLine(line []byte) (ledgerLine, error) {
+	var rec ledgerLine
 	sumHex, doc, ok := strings.Cut(string(line), " ")
 	if !ok {
-		return e, errors.New("no checksum separator")
+		return rec, errors.New("no checksum separator")
 	}
 	sum, err := strconv.ParseUint(sumHex, 16, 32)
 	if err != nil {
-		return e, fmt.Errorf("bad checksum field %q", sumHex)
+		return rec, fmt.Errorf("bad checksum field %q", sumHex)
 	}
 	if crc32.ChecksumIEEE([]byte(doc)) != uint32(sum) {
-		return e, errors.New("checksum mismatch")
+		return rec, errors.New("checksum mismatch")
 	}
-	if err := json.Unmarshal([]byte(doc), &e); err != nil {
-		return e, fmt.Errorf("checksummed entry does not decode: %w", err)
+	if err := json.Unmarshal([]byte(doc), &rec); err != nil {
+		return rec, fmt.Errorf("checksummed entry does not decode: %w", err)
 	}
-	if e.EpsPattern < 0 || e.EpsSanitize < 0 || !isFinite(e.Eps()) {
-		return e, fmt.Errorf("entry carries invalid spend ε_pattern=%v ε_sanitize=%v", e.EpsPattern, e.EpsSanitize)
+	if ck := rec.Checkpoint; ck != nil {
+		if ck.Seq < 0 {
+			return rec, fmt.Errorf("checkpoint folds a negative sequence %d", ck.Seq)
+		}
+		for ds, eps := range ck.Spent {
+			if eps < 0 || !isFinite(eps) {
+				return rec, fmt.Errorf("checkpoint carries invalid spend ε=%v for %q", eps, ds)
+			}
+		}
+		return rec, nil
 	}
-	return e, nil
+	if rec.EpsPattern < 0 || rec.EpsSanitize < 0 || !isFinite(rec.Eps()) {
+		return rec, fmt.Errorf("entry carries invalid spend ε_pattern=%v ε_sanitize=%v", rec.EpsPattern, rec.EpsSanitize)
+	}
+	return rec, nil
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
@@ -175,7 +232,10 @@ func (l *Ledger) Spent(dataset string) float64 {
 }
 
 func (l *Ledger) spentLocked(dataset string) float64 {
-	var total float64
+	// Start from the checkpoint's folded value and continue the same
+	// left-to-right fold over live entries — Compact records exactly this
+	// fold, so spending is bit-identical before and after compaction.
+	total := l.spent0[dataset]
 	for _, e := range l.entries {
 		if e.Dataset == dataset {
 			total += e.Eps()
@@ -184,7 +244,9 @@ func (l *Ledger) spentLocked(dataset string) float64 {
 	return total
 }
 
-// Entries returns a copy of the ledger's entries in append order.
+// Entries returns a copy of the ledger's live (uncompacted) entries in
+// append order. Entries folded into a checkpoint are gone as
+// individual records; their spending survives in Spent.
 func (l *Ledger) Entries() []LedgerEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -193,11 +255,19 @@ func (l *Ledger) Entries() []LedgerEntry {
 	return out
 }
 
-// Len returns the number of committed entries.
+// Len returns the number of committed entries across the ledger's
+// lifetime, including entries folded into a checkpoint.
 func (l *Ledger) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.entries)
+	return l.base + len(l.entries)
+}
+
+// Compacted returns how many entries are folded into the checkpoint.
+func (l *Ledger) Compacted() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
 }
 
 // Charge durably records e's spend against its dataset, refusing with a
@@ -217,33 +287,122 @@ func (l *Ledger) Charge(ctx context.Context, e LedgerEntry, budget float64) erro
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken {
-		return fmt.Errorf("dp: ledger %s is poisoned by an earlier append failure", l.path)
+		return fmt.Errorf("%w (%s)", ErrLedgerPoisoned, l.path)
 	}
 	const tol = 1e-9
 	if spent := l.spentLocked(e.Dataset); budget > 0 && e.Eps() > budget-spent+tol {
 		return &BudgetError{Dataset: e.Dataset, Requested: e.Eps(), Spent: spent, Budget: budget}
 	}
-	e.Seq = len(l.entries) + 1
+	e.Seq = l.base + len(l.entries) + 1
 	doc, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("dp: encoding ledger entry: %w", err)
 	}
 	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(doc), doc)
-	if _, err := l.f.WriteString(line); err != nil {
-		l.broken = true
+	if _, err := resilience.WriteString(ctx, l.f, line); err != nil {
+		// A failed plain write (ENOSPC, typically) may have torn the line
+		// onto disk without making anything durable. Heal: truncate back
+		// to the last fsynced offset so the file never accumulates a torn
+		// interior line, and stay usable — the charge simply did not
+		// happen, and the caller must not publish.
+		if herr := l.healLocked(); herr != nil {
+			l.broken = true
+			return fmt.Errorf("dp: appending ledger entry: %w (and healing the torn tail failed: %w — ledger poisoned)", err, herr)
+		}
 		return fmt.Errorf("dp: appending ledger entry: %w", err)
 	}
 	// Fault window: entry written, not yet durable. A crash here leaves
 	// a (possibly torn) uncommitted line and no published release.
 	if err := resilience.Fire(ctx, resilience.FaultLedgerAppend, e.Seq); err != nil {
 		l.broken = true
-		return fmt.Errorf("dp: syncing ledger entry: %w", err)
+		return fmt.Errorf("%w: syncing entry: %w", ErrLedgerPoisoned, err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := resilience.Sync(ctx, l.f); err != nil {
+		// fsync failed: the kernel may have dropped the dirty page and
+		// cleared the error — the bytes' fate is unknowable through this
+		// handle. Poison the ledger; only a reopen (which re-reads the
+		// durable prefix) recovers. Critically, the entry is NOT counted:
+		// a spend the disk may not remember must refuse the publication.
 		l.broken = true
-		return fmt.Errorf("dp: syncing ledger entry: %w", err)
+		return fmt.Errorf("%w: syncing entry: %w", ErrLedgerPoisoned, err)
 	}
+	l.end += int64(len(line))
 	l.entries = append(l.entries, e)
+	return nil
+}
+
+// healLocked truncates the file back to the last durable offset after a
+// failed plain write, restoring the append position.
+func (l *Ledger) healLocked() error {
+	if err := l.f.Truncate(l.end); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(l.end, 0); err != nil {
+		return err
+	}
+	// Make the truncation itself durable so a crash right now cannot
+	// resurrect torn bytes past the committed prefix.
+	return l.f.Sync()
+}
+
+// Compact folds every committed entry into a single checkpoint line,
+// rewriting the ledger atomically (temp file, fsync, rename) and
+// reopening the handle on the new file. Per-dataset spending is
+// preserved exactly: the checkpoint records the same left-to-right fold
+// spentLocked computes, so no budget decision changes across a
+// compaction. A crash at any instant leaves either the old multi-line
+// file or the complete checkpointed one — both recover to identical
+// spending.
+func (l *Ledger) Compact(ctx context.Context) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken {
+		return fmt.Errorf("%w (%s)", ErrLedgerPoisoned, l.path)
+	}
+	if len(l.entries) == 0 {
+		return nil // nothing settled since the last checkpoint
+	}
+	ck := ledgerCheckpoint{Seq: l.base + len(l.entries), Spent: map[string]float64{}}
+	for ds, eps := range l.spent0 {
+		ck.Spent[ds] = eps
+	}
+	for _, e := range l.entries {
+		ck.Spent[e.Dataset] += e.Eps()
+	}
+	doc, err := json.Marshal(struct {
+		Checkpoint *ledgerCheckpoint `json:"checkpoint"`
+	}{&ck})
+	if err != nil {
+		return fmt.Errorf("dp: encoding ledger checkpoint: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(doc), doc)
+	if err := resilience.AtomicWriteFile(ctx, l.path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, line)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("dp: writing ledger checkpoint: %w", err)
+	}
+	// The rename is durable; swap the handle to the new file. The old
+	// descriptor points at an unlinked inode and is safe to close.
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The checkpoint is on disk but we cannot append through a fresh
+		// handle; poison so no charge is silently lost.
+		l.broken = true
+		return fmt.Errorf("%w: reopening after checkpoint: %w", ErrLedgerPoisoned, err)
+	}
+	end, err := nf.Seek(0, io.SeekEnd)
+	if err != nil {
+		nf.Close()
+		l.broken = true
+		return fmt.Errorf("%w: seeking after checkpoint: %w", ErrLedgerPoisoned, err)
+	}
+	l.f.Close()
+	l.f = nf
+	l.end = end
+	l.base = ck.Seq
+	l.spent0 = ck.Spent
+	l.entries = nil
 	return nil
 }
 

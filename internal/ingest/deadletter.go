@@ -1,0 +1,149 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/resilience"
+)
+
+// DeadLetter is a size-capped JSONL quarantine file. Malformed input
+// must be kept for diagnosis, but a hostile or misconfigured source
+// must not be able to fill the disk with its own garbage — the
+// quarantine is bounded at roughly 2×max bytes: the active file at
+// `path` plus one rotated generation at `path+".1"`. When the active
+// file would exceed max it is rotated over the previous generation,
+// whose records are dropped (oldest-first) and counted.
+//
+// Writes are best-effort durable (no per-record fsync — the dead letter
+// is diagnostic, not transactional) but run through the filesystem
+// fault seam so exhaustion drills cover this path too.
+type DeadLetter struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	size    int64 // bytes in the active file
+	max     int64 // rotate once a write would push size past this
+	lines   int64 // records in the active file
+	prev    int64 // records in the rotated generation
+	dropped int64 // records lost to rotation, lifetime of this handle
+}
+
+// DefaultDeadLetterMax bounds the active dead-letter file at 4 MiB
+// (so ~8 MiB on disk with the rotated generation).
+const DefaultDeadLetterMax = 4 << 20
+
+// OpenDeadLetter opens (or creates) the quarantine at path. max <= 0
+// uses DefaultDeadLetterMax. Existing content is preserved and counted,
+// so the bound holds across restarts.
+func OpenDeadLetter(path string, max int64) (*DeadLetter, error) {
+	if max <= 0 {
+		max = DefaultDeadLetterMax
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: opening dead letter: %w", err)
+	}
+	d := &DeadLetter{path: path, f: f, max: max}
+	if d.size, d.lines, err = countLines(path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, d.prev, err = countLines(path + ".1"); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// countLines returns the byte size and newline count of path; a missing
+// file is (0, 0).
+func countLines(path string) (size, lines int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("ingest: sizing dead letter: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := r.Read(buf)
+		size += int64(n)
+		lines += int64(bytes.Count(buf[:n], []byte{'\n'}))
+		if rerr == io.EOF {
+			return size, lines, nil
+		}
+		if rerr != nil {
+			return 0, 0, fmt.Errorf("ingest: sizing dead letter: %w", rerr)
+		}
+	}
+}
+
+// WriteContext appends one JSONL record, rotating first if the record
+// would push the active file past the cap. Oversized single records are
+// still written (into a fresh file) rather than silently dropped.
+func (d *DeadLetter) WriteContext(ctx context.Context, p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.size > 0 && d.size+int64(len(p)) > d.max {
+		if err := d.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := resilience.Write(ctx, d.f, p)
+	d.size += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("ingest: dead letter append: %w", err)
+	}
+	d.lines += int64(bytes.Count(p, []byte{'\n'}))
+	return n, nil
+}
+
+// Write satisfies io.Writer for callers without a context.
+func (d *DeadLetter) Write(p []byte) (int, error) {
+	return d.WriteContext(context.Background(), p)
+}
+
+// rotateLocked moves the active file over the previous generation,
+// dropping (and counting) that generation's records, and opens a fresh
+// active file.
+func (d *DeadLetter) rotateLocked() error {
+	if err := d.f.Close(); err != nil {
+		return fmt.Errorf("ingest: closing dead letter for rotation: %w", err)
+	}
+	if err := os.Rename(d.path, d.path+".1"); err != nil {
+		return fmt.Errorf("ingest: rotating dead letter: %w", err)
+	}
+	f, err := os.OpenFile(d.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: reopening dead letter after rotation: %w", err)
+	}
+	d.dropped += d.prev
+	d.prev = d.lines
+	d.lines = 0
+	d.size = 0
+	d.f = f
+	return nil
+}
+
+// Dropped returns how many quarantined records rotation has discarded.
+func (d *DeadLetter) Dropped() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// Close releases the file handle.
+func (d *DeadLetter) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

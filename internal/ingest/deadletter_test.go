@@ -1,0 +1,107 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDeadLetterRotation: the quarantine stays bounded at two
+// generations, rotation drops the oldest generation's records, and the
+// drop counter accounts for every lost record.
+func TestDeadLetterRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dead.jsonl")
+	rec := []byte(`{"line":1,"reason":"r","raw":"x"}` + "\n") // 33 bytes
+	max := int64(3 * len(rec))                                // 3 records per generation
+	dl, err := OpenDeadLetter(path, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl.Close()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := dl.WriteContext(ctx, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 records at 3 per generation: active holds 10-3*3=1, .1 holds 3,
+	// two full generations (6 records) were dropped.
+	if got := dl.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	if info, err := os.Stat(path); err != nil || info.Size() > max {
+		t.Fatalf("active file %d bytes (err=%v), cap %d", info.Size(), err, max)
+	}
+	if info, err := os.Stat(path + ".1"); err != nil || info.Size() > max {
+		t.Fatalf("rotated file %d bytes (err=%v), cap %d", info.Size(), err, max)
+	}
+	if _, err := os.Stat(path + ".2"); !os.IsNotExist(err) {
+		t.Fatal("rotation grew a third generation")
+	}
+}
+
+// TestDeadLetterBoundSurvivesRestart: reopening picks up the existing
+// sizes, so the cap holds across process lifetimes and rotation keeps
+// counting the records it discards.
+func TestDeadLetterBoundSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dead.jsonl")
+	rec := []byte(strings.Repeat("a", 32) + "\n")
+	max := int64(2 * len(rec))
+	dl, err := OpenDeadLetter(path, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // rotates once: active 1, prev 2
+		if _, err := dl.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dl.Close()
+
+	re, err := OpenDeadLetter(path, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < 2; i++ { // forces another rotation, dropping prev's 2
+		if _, err := re.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := re.Dropped(); got != 2 {
+		t.Fatalf("dropped after restart = %d, want 2", got)
+	}
+}
+
+// TestIngesterSurfacesDeadLetterDrops: the ingester's stats mirror the
+// sink's drop counter so operators see quarantine loss without reading
+// files.
+func TestIngesterSurfacesDeadLetterDrops(t *testing.T) {
+	dir := t.TempDir()
+	dl, err := OpenDeadLetter(filepath.Join(dir, "dead.jsonl"), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl.Close()
+	in, err := New(Config{Cx: 2, Cy: 2, Ct: 2, BatchSize: 4, DeadLetter: dl}, filepath.Join(dir, "w.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	var junk strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&junk, "garbage-line-%02d\n", i)
+	}
+	if _, quarantined, err := in.Ingest(context.Background(), strings.NewReader(junk.String())); err != nil || quarantined != 20 {
+		t.Fatalf("quarantined %d (err=%v), want 20", quarantined, err)
+	}
+	st := in.Stats()
+	if st.DeadLetterDropped == 0 || st.DeadLetterDropped != dl.Dropped() {
+		t.Fatalf("stats dropped = %d, sink dropped = %d", st.DeadLetterDropped, dl.Dropped())
+	}
+}

@@ -44,3 +44,46 @@ func FuzzWALDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSnapshotDecode hammers the snapshot parser with arbitrary bytes.
+// Invariants: never panic; every accepted snapshot has bounded, positive
+// dimensions matching its cell count, only finite cells, and re-encodes
+// byte-identically — so a checksummed snapshot file decodes to exactly
+// one matrix.
+func FuzzSnapshotDecode(f *testing.F) {
+	small := &Snapshot{Cx: 2, Cy: 3, Ct: 1, Upto: 4, Batches: 9, Accepted: 81, Cells: make([]float64, 6)}
+	for i := range small.Cells {
+		small.Cells[i] = float64(i) / 8
+	}
+	f.Add(EncodeSnapshot(small))
+	f.Add(EncodeSnapshot(&Snapshot{Cx: 1, Cy: 1, Ct: 1, Cells: []float64{0}}))
+	// Structurally broken seeds.
+	f.Add([]byte{})
+	f.Add(snapMagic[:])
+	truncated := EncodeSnapshot(small)
+	f.Add(truncated[:len(truncated)-3])
+	huge := EncodeSnapshot(small)
+	huge[8] = 0xff // absurd cx with a stale checksum
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			return
+		}
+		if s.Cx <= 0 || s.Cy <= 0 || s.Ct <= 0 {
+			t.Fatalf("accepted non-positive dims %dx%dx%d", s.Cx, s.Cy, s.Ct)
+		}
+		if len(s.Cells) != s.Cx*s.Cy*s.Ct {
+			t.Fatalf("%d cells for %dx%dx%d", len(s.Cells), s.Cx, s.Cy, s.Ct)
+		}
+		for i, v := range s.Cells {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("cell %d: accepted non-finite %v", i, v)
+			}
+		}
+		if re := EncodeSnapshot(s); !bytes.Equal(re, b) {
+			t.Fatalf("round trip not canonical: %d bytes in, %d bytes out", len(b), len(re))
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/dp"
+	"repro/internal/resilience"
 )
 
 // HandlerConfig wires an Ingester into an HTTP surface.
@@ -22,20 +23,44 @@ type HandlerConfig struct {
 	Publish func() error
 }
 
+// diskFullRetryAfter is the Retry-After (seconds) answered with a 503
+// while the disk is full: long enough that a polite client does not
+// hammer a full disk, short enough to resume promptly once an operator
+// frees space.
+const diskFullRetryAfter = "5"
+
 // Handler exposes the ingester over HTTP:
 //
 //	POST /ingest     CSV body (x,y,t,value lines) → {"accepted":N,"quarantined":M}
 //	POST /-/publish  close the epoch: snapshot + ledger charge (403 on auth,
 //	                 409 when the privacy budget refuses, 404 if not configured)
+//	POST /-/compact  fold the WAL into a snapshot and drop covered segments
 //	GET  /stats      lifetime counters + matrix dimensions
 //	GET  /healthz    liveness
+//	GET  /readyz     readiness: 503 while durable writes are failing
 //
 // A rejected publication maps to 409 Conflict: the request was valid,
-// but the ledger's durable state forbids the spend.
+// but the ledger's durable state forbids the spend. Resource exhaustion
+// maps to 503 Service Unavailable with a Retry-After header: a full
+// disk loses no acknowledged data, and the client should simply resend
+// the unacknowledged tail once space returns. A poisoned WAL (failed
+// fsync) is also 503, but without Retry-After — it needs a restart, not
+// patience.
 func Handler(in *Ingester, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := in.Health()
+		if h.Ready {
+			writeJSON(w, http.StatusOK, h)
+			return
+		}
+		if h.DiskFull {
+			w.Header().Set("Retry-After", diskFullRetryAfter)
+		}
+		writeJSON(w, http.StatusServiceUnavailable, h)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		cx, cy, ct := in.Dims()
@@ -50,8 +75,9 @@ func Handler(in *Ingester, cfg HandlerConfig) http.Handler {
 		accepted, quarantined, err := in.Ingest(r.Context(), r.Body)
 		if err != nil {
 			// Accepted-and-committed readings stay durable even when the
-			// stream dies halfway; report both the failure and the progress.
-			writeJSON(w, http.StatusInternalServerError, map[string]any{
+			// stream dies halfway; report both the failure and the progress
+			// so the client can resend exactly the unacknowledged tail.
+			writeIngestError(w, err, map[string]any{
 				"error": err.Error(), "accepted": accepted, "quarantined": quarantined,
 			})
 			return
@@ -59,6 +85,16 @@ func Handler(in *Ingester, cfg HandlerConfig) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"accepted": accepted, "quarantined": quarantined,
 		})
+	})
+	mux.HandleFunc("/-/compact", func(w http.ResponseWriter, r *http.Request) {
+		if !mutating(w, r, cfg.Token) {
+			return
+		}
+		if err := in.Compact(r.Context()); err != nil {
+			writeIngestError(w, err, map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"compacted": true})
 	})
 	mux.HandleFunc("/-/publish", func(w http.ResponseWriter, r *http.Request) {
 		if !mutating(w, r, cfg.Token) {
@@ -69,16 +105,32 @@ func Handler(in *Ingester, cfg HandlerConfig) http.Handler {
 			return
 		}
 		if err := cfg.Publish(); err != nil {
-			status := http.StatusInternalServerError
 			if errors.Is(err, dp.ErrBudgetExhausted) {
-				status = http.StatusConflict
+				writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+				return
 			}
-			writeJSON(w, status, map[string]any{"error": err.Error()})
+			writeIngestError(w, err, map[string]any{"error": err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"published": true})
 	})
 	return mux
+}
+
+// writeIngestError maps a durable-write failure to its HTTP shape:
+// disk-full → 503 + Retry-After (transient, resend later), poisoned WAL
+// or ledger → 503 (needs a restart), anything else → 500.
+func writeIngestError(w http.ResponseWriter, err error, body map[string]any) {
+	switch {
+	case resilience.IsDiskFull(err):
+		w.Header().Set("Retry-After", diskFullRetryAfter)
+		body["retryable"] = true
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case errors.Is(err, ErrWALPoisoned), errors.Is(err, dp.ErrLedgerPoisoned):
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		writeJSON(w, http.StatusInternalServerError, body)
+	}
 }
 
 // mutating enforces method and bearer-token auth for state-changing

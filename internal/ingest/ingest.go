@@ -32,6 +32,14 @@ type Config struct {
 	// DeadLetter receives one JSON line per quarantined record (see
 	// DeadLetterRecord). nil discards quarantined records (still counted).
 	DeadLetter io.Writer
+	// CompactBatches triggers snapshot compaction once this many batches
+	// have committed since the last snapshot. 0 disables the trigger
+	// (compaction still runs via Compact).
+	CompactBatches int
+	// CompactBytes triggers snapshot compaction once the uncompacted WAL
+	// (sealed segments awaiting deletion plus the active file) exceeds
+	// this many bytes. 0 disables the trigger.
+	CompactBytes int64
 }
 
 // maxMatrixCells mirrors the loader-side guard in datasets: three
@@ -52,6 +60,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256
 	}
+	if c.CompactBatches < 0 || c.CompactBytes < 0 {
+		return c, fmt.Errorf("ingest: negative compaction thresholds %d/%d", c.CompactBatches, c.CompactBytes)
+	}
 	return c, nil
 }
 
@@ -67,35 +78,83 @@ type Stats struct {
 	Accepted    int64 // readings applied to the matrix (incl. replayed)
 	Quarantined int64 // readings diverted to the dead letter
 	Batches     int64 // WAL records appended by this process
-	Replayed    int64 // readings recovered from the WAL at open
+	Replayed    int64 // readings recovered from snapshot + WAL at open
+	// Compactions counts successful snapshot compactions; CompactErrors
+	// counts attempts that failed (state stays consistent, the next
+	// attempt retries). CommitFailures counts batches refused at the WAL
+	// (the unacknowledged readings are dropped for the caller to resend).
+	Compactions    int64
+	CompactErrors  int64
+	CommitFailures int64
+	// DeadLetterDropped mirrors the dead-letter sink's dropped-oldest
+	// counter when the sink is a *DeadLetter; 0 otherwise.
+	DeadLetterDropped int64
+}
+
+// Health reports whether the ingester can currently make writes
+// durable, in the shape a readiness probe wants.
+type Health struct {
+	// Ready means the last durable write succeeded (or none failed yet).
+	Ready bool `json:"ready"`
+	// Poisoned means a failed fsync made the WAL's disk state unknowable;
+	// only a restart (which replays the durable prefix) recovers.
+	Poisoned bool `json:"poisoned,omitempty"`
+	// DiskFull means the last failure was ENOSPC: the ingester self-healed
+	// the log and will resume as soon as space returns.
+	DiskFull bool   `json:"disk_full,omitempty"`
+	Reason   string `json:"reason,omitempty"`
 }
 
 // Ingester accumulates validated readings into a consumption matrix,
-// write-ahead-logging every batch before applying it. Safe for
-// concurrent use (HTTP posts serialise on the internal lock).
+// write-ahead-logging every batch before applying it, and periodically
+// folding the log into a checksummed snapshot so durable state stays
+// bounded. Safe for concurrent use (HTTP posts serialise on the
+// internal lock).
 type Ingester struct {
-	mu      sync.Mutex
-	cfg     Config
-	wal     *WAL
-	m       *grid.Matrix
-	pending []Reading
-	stats   Stats
-	batch   int // ordinal of the next batch commit, for fault payloads
+	mu       sync.Mutex
+	cfg      Config
+	wal      *WAL
+	snapPath string
+	m        *grid.Matrix
+	pending  []Reading
+	stats    Stats
+	batch    int   // ordinal of the next batch commit, for fault payloads
+	dirty    int   // batches committed since the last durable snapshot
+	lastErr  error // last durable-write failure; nil once a write succeeds
 }
 
-// New opens (or creates) the WAL at walPath, replays every committed
-// batch into a fresh matrix — the crash-recovery path — and returns an
-// ingester ready to append. Replayed readings are trusted (they were
-// validated before logging) but still bounds-checked against the
-// configured dimensions: a WAL recorded under different dimensions must
-// fail loudly, not scribble out of range.
+// New opens (or creates) the log at walPath, loads the snapshot at
+// walPath+".snap" when present, replays every WAL batch the snapshot
+// does not cover — the crash-recovery path — and returns an ingester
+// ready to append. Replayed readings are trusted (they were validated
+// before logging) but still bounds-checked against the configured
+// dimensions: a WAL recorded under different dimensions must fail
+// loudly, not scribble out of range.
 func New(cfg Config, walPath string) (*Ingester, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	in := &Ingester{cfg: cfg, m: grid.NewMatrix(cfg.Cx, cfg.Cy, cfg.Ct)}
-	wal, err := OpenWAL(walPath, func(batch []Reading) error {
+	in := &Ingester{cfg: cfg, snapPath: walPath + ".snap"}
+	snap, err := LoadSnapshot(in.snapPath)
+	if err != nil {
+		return nil, err
+	}
+	var base uint64
+	if snap != nil {
+		if snap.Cx != cfg.Cx || snap.Cy != cfg.Cy || snap.Ct != cfg.Ct {
+			return nil, fmt.Errorf("ingest: snapshot %s is %dx%dx%d, configured matrix is %dx%dx%d — was it written for different dimensions?",
+				in.snapPath, snap.Cx, snap.Cy, snap.Ct, cfg.Cx, cfg.Cy, cfg.Ct)
+		}
+		in.m = snap.Matrix()
+		in.stats.Replayed = int64(snap.Accepted)
+		in.stats.Accepted = int64(snap.Accepted)
+		in.batch = int(snap.Batches)
+		base = snap.Upto
+	} else {
+		in.m = grid.NewMatrix(cfg.Cx, cfg.Cy, cfg.Ct)
+	}
+	wal, err := OpenWALAfter(walPath, base, func(batch []Reading) error {
 		for _, r := range batch {
 			if r.X >= cfg.Cx || r.Y >= cfg.Cy || r.T >= cfg.Ct || r.X < 0 || r.Y < 0 || r.T < 0 {
 				return fmt.Errorf("ingest: WAL reading (%d,%d,%d) outside the configured %dx%dx%d matrix — was the WAL written for different dimensions?",
@@ -111,7 +170,8 @@ func New(cfg Config, walPath string) (*Ingester, error) {
 		return nil, err
 	}
 	in.wal = wal
-	in.batch = wal.Records()
+	in.batch += wal.Records()
+	in.dirty = wal.Records()
 	return in, nil
 }
 
@@ -119,7 +179,27 @@ func New(cfg Config, walPath string) (*Ingester, error) {
 func (in *Ingester) Stats() Stats {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.stats
+	st := in.stats
+	if dl, ok := in.cfg.DeadLetter.(interface{ Dropped() int64 }); ok {
+		st.DeadLetterDropped = dl.Dropped()
+	}
+	return st
+}
+
+// Health reports whether durable writes are currently possible.
+func (in *Ingester) Health() Health {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	h := Health{Ready: true}
+	switch {
+	case in.wal.Broken():
+		h = Health{Poisoned: true, Reason: "WAL poisoned by a failed fsync; restart to recover the durable prefix"}
+	case in.lastErr != nil && resilience.IsDiskFull(in.lastErr):
+		h = Health{DiskFull: true, Reason: in.lastErr.Error()}
+	case in.lastErr != nil:
+		h = Health{Reason: in.lastErr.Error()}
+	}
+	return h
 }
 
 // Dims returns the configured matrix dimensions.
@@ -131,7 +211,10 @@ func (in *Ingester) Dims() (cx, cy, ct int) { return in.cfg.Cx, in.cfg.Cy, in.cf
 // continues — one bad meter must not abort an epoch. Any tail batch is
 // flushed before return, so a nil error means every accepted reading is
 // durable in the WAL. The error return is reserved for real faults:
-// stream I/O, WAL append/fsync, context cancellation.
+// stream I/O, WAL append/fsync, context cancellation. On error the
+// accepted count tells the caller exactly how many readings (from the
+// start of this stream) are durable; everything after that was never
+// acknowledged and must be resent.
 func (in *Ingester) Ingest(ctx context.Context, r io.Reader) (accepted, quarantined int64, err error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -155,7 +238,7 @@ func (in *Ingester) Ingest(ctx context.Context, r io.Reader) (accepted, quaranti
 		}
 		rec, perr := in.parseReading(line)
 		if perr != nil {
-			if qerr := in.quarantineLocked(lineNo, perr.Error(), line); qerr != nil {
+			if qerr := in.quarantineLocked(ctx, lineNo, perr.Error(), line); qerr != nil {
 				return in.stats.Accepted - startAcc, in.stats.Quarantined - startQuar, qerr
 			}
 			continue
@@ -214,7 +297,7 @@ func (in *Ingester) parseReading(line string) (Reading, error) {
 // quarantineLocked writes one dead-letter record. A failing dead-letter
 // sink is a real error: silently discarding evidence of malformed input
 // would defeat the quarantine's point.
-func (in *Ingester) quarantineLocked(line int, reason, raw string) error {
+func (in *Ingester) quarantineLocked(ctx context.Context, line int, reason, raw string) error {
 	in.stats.Quarantined++
 	if in.cfg.DeadLetter == nil {
 		return nil
@@ -223,7 +306,16 @@ func (in *Ingester) quarantineLocked(line int, reason, raw string) error {
 	if err != nil {
 		return fmt.Errorf("ingest: encoding dead-letter record: %w", err)
 	}
-	if _, err := in.cfg.DeadLetter.Write(append(doc, '\n')); err != nil {
+	doc = append(doc, '\n')
+	if cw, ok := in.cfg.DeadLetter.(interface {
+		WriteContext(ctx context.Context, p []byte) (int, error)
+	}); ok {
+		if _, err := cw.WriteContext(ctx, doc); err != nil {
+			return fmt.Errorf("ingest: writing dead letter: %w", err)
+		}
+		return nil
+	}
+	if _, err := in.cfg.DeadLetter.Write(doc); err != nil {
 		return fmt.Errorf("ingest: writing dead letter: %w", err)
 	}
 	return nil
@@ -231,7 +323,10 @@ func (in *Ingester) quarantineLocked(line int, reason, raw string) error {
 
 // commitLocked appends the pending batch to the WAL (write + fsync) and
 // only then applies it to the matrix — the ordering that makes replay
-// exact: the matrix never holds a reading the log does not.
+// exact: the matrix never holds a reading the log does not. On a failed
+// append the pending batch is dropped: it was never acknowledged, and
+// retaining it would double-apply those readings when the caller
+// resends the unacknowledged tail of its stream.
 func (in *Ingester) commitLocked(ctx context.Context) error {
 	if len(in.pending) == 0 {
 		return nil
@@ -239,21 +334,96 @@ func (in *Ingester) commitLocked(ctx context.Context) error {
 	// Crash-test injection point: a stalled hook lets the harness
 	// SIGKILL the process with a batch accepted but not yet logged.
 	if err := resilience.Fire(ctx, resilience.FaultIngestBatch, in.batch); err != nil {
+		in.pending = in.pending[:0]
+		in.stats.CommitFailures++
+		in.lastErr = err
 		return fmt.Errorf("ingest: batch %d: %w", in.batch, err)
 	}
 	if err := in.wal.Append(ctx, in.pending); err != nil {
+		in.pending = in.pending[:0]
+		in.stats.CommitFailures++
+		in.lastErr = err
 		return err
 	}
 	for _, r := range in.pending {
 		in.m.AddAt(r.X, r.Y, r.T, r.V)
 	}
 	in.batch++
+	in.dirty++
 	in.stats.Batches++
 	// Accepted counts only durable readings: a batch that failed its WAL
-	// append stays pending and uncounted, so stats never claim more than
-	// a crash would replay.
+	// append is dropped and uncounted, so stats never claim more than a
+	// crash would replay.
 	in.stats.Accepted += int64(len(in.pending))
 	in.pending = in.pending[:0]
+	in.lastErr = nil
+	in.maybeCompactLocked(ctx)
+	return nil
+}
+
+// maybeCompactLocked runs compaction when a configured threshold is
+// exceeded. Failure is recorded, not returned: the triggering batch is
+// already durable, so a failed compaction must not fail the ingest —
+// the log just stays longer until the next attempt succeeds.
+func (in *Ingester) maybeCompactLocked(ctx context.Context) {
+	trigger := (in.cfg.CompactBatches > 0 && in.dirty >= in.cfg.CompactBatches) ||
+		(in.cfg.CompactBytes > 0 && in.wal.ActiveBytes() > in.cfg.CompactBytes)
+	if !trigger {
+		return
+	}
+	if err := in.compactLocked(ctx); err != nil {
+		in.stats.CompactErrors++
+		in.lastErr = err
+	}
+}
+
+// Compact folds the whole committed log into a checksummed snapshot and
+// deletes the WAL segments it covers. Safe to call at any time; a no-op
+// when nothing committed since the last snapshot. A SIGKILL at any
+// instant — mid-rotate, mid-snapshot, mid-delete — recovers to the
+// byte-identical matrix: the snapshot commit is atomic, and recovery
+// either replays the segments (snapshot missing) or skips and deletes
+// them (snapshot present).
+func (in *Ingester) Compact(ctx context.Context) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	err := in.compactLocked(ctx)
+	if err != nil {
+		in.stats.CompactErrors++
+		in.lastErr = err
+	}
+	return err
+}
+
+func (in *Ingester) compactLocked(ctx context.Context) error {
+	if in.dirty == 0 {
+		return nil
+	}
+	// Seal the active segment so the sealed set covers every committed
+	// batch, then snapshot the matrix — which is exactly the fold of
+	// those segments (and any prior snapshot).
+	upto, err := in.wal.Rotate(ctx)
+	if err != nil {
+		return err
+	}
+	snap := &Snapshot{
+		Cx: in.cfg.Cx, Cy: in.cfg.Cy, Ct: in.cfg.Ct,
+		Upto:     upto,
+		Batches:  uint64(in.batch),
+		Accepted: uint64(in.stats.Accepted),
+		Cells:    in.m.Data(),
+	}
+	if err := WriteSnapshot(ctx, in.snapPath, snap); err != nil {
+		return err
+	}
+	// The snapshot is durable: everything at or below upto is dead
+	// weight. A crash mid-delete leaves covered segments for the next
+	// open to finish off.
+	in.dirty = 0
+	in.stats.Compactions++
+	if err := in.wal.DropThrough(ctx, upto); err != nil {
+		return err
+	}
 	return nil
 }
 

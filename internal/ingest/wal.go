@@ -6,6 +6,12 @@
 // log back to the identical matrix. Malformed records are quarantined
 // to a dead-letter sink instead of aborting the stream, and epoch close
 // publishes an atomic snapshot gated by the privacy-budget ledger.
+//
+// Under continual release the log would otherwise grow without bound,
+// so the WAL supports snapshot-based compaction: the ingester
+// periodically seals the active segment, writes a checksummed snapshot
+// of the accumulated matrix, and deletes every sealed segment the
+// snapshot covers. Recovery is then snapshot + tail replay.
 package ingest
 
 import (
@@ -17,6 +23,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/resilience"
 )
@@ -29,7 +37,7 @@ type Reading struct {
 	V       float64
 }
 
-// WAL on-disk format:
+// WAL on-disk format (per segment):
 //
 //	[8-byte magic "STPTWAL\x01"]
 //	repeated records: [u32 LE payload length][u32 LE CRC32(payload)][payload]
@@ -40,6 +48,14 @@ type Reading struct {
 // short tail (torn write — dropped and truncated on reopen). A
 // full-length record whose checksum fails cannot result from a torn
 // append and is reported as corruption, never silently skipped.
+//
+// The log is a sequence of segments: sealed, immutable files named
+// `<path>.<seq>` (eight decimal digits) plus the active file at
+// `<path>`. Rotation renames the active file to the next sealed name
+// and starts a fresh one; compaction deletes sealed segments once a
+// snapshot covers them. Only the active segment may carry a torn tail —
+// a sealed segment was fully fsynced before its rename, so any damage
+// there is corruption.
 var walMagic = [8]byte{'S', 'T', 'P', 'T', 'W', 'A', 'L', 1}
 
 const (
@@ -50,43 +66,147 @@ const (
 )
 
 // ErrWALCorrupt marks damage that a torn final append cannot explain —
-// a bad magic, an absurd length field, or a checksum mismatch on a
-// complete record. Callers must stop, not skip: silently dropping an
-// interior batch would replay to a different matrix than the one the
-// ingester built.
+// a bad magic, an absurd length field, a checksum mismatch on a
+// complete record, or a missing sealed segment. Callers must stop, not
+// skip: silently dropping an interior batch would replay to a different
+// matrix than the one the ingester built.
 var ErrWALCorrupt = errors.New("ingest: WAL corrupt")
 
-// WAL is an append-only write-ahead log of accepted batches. Not safe
-// for concurrent use; the Ingester serialises access.
+// ErrWALPoisoned marks a WAL whose last fsync (or self-heal after a
+// failed write) did not succeed: the kernel may have dropped dirty
+// pages, so the on-disk state of the final record is unknowable from
+// this handle. Every further append is refused; the process must
+// restart and recover from the log, which replays exactly the durable
+// prefix.
+var ErrWALPoisoned = errors.New("ingest: WAL poisoned by a failed fsync; restart and recover")
+
+// WAL is an append-only, segmented write-ahead log of accepted batches.
+// Not safe for concurrent use; the Ingester serialises access.
 type WAL struct {
 	f       *os.File
-	path    string
-	records int
-	broken  bool // a failed fsync poisons the handle: disk state unknown
+	path    string // active segment path; sealed segments are path.<seq>
+	records int    // complete batches replayed at open + appended since
+	active  int    // records in the active segment
+	seq     uint64 // sequence the active segment receives when sealed
+	sealed  []uint64
+	end     int64 // durable end offset of the active file
+	broken  bool  // a failed fsync poisons the handle: disk state unknown
 	buf     []byte
+}
+
+// segName returns the sealed-segment path for seq.
+func segName(path string, seq uint64) string { return fmt.Sprintf("%s.%08d", path, seq) }
+
+// listSegments returns the sealed segment sequence numbers present next
+// to path, ascending. Only suffixes of exactly eight digits count, so
+// snapshots (`.snap`), dead letters and temp files never match.
+func listSegments(path string) ([]uint64, error) {
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, m := range matches {
+		suffix := m[len(path)+1:]
+		if len(suffix) != 8 {
+			continue
+		}
+		var seq uint64
+		ok := true
+		for _, c := range suffix {
+			if c < '0' || c > '9' {
+				ok = false
+				break
+			}
+			seq = seq*10 + uint64(c-'0')
+		}
+		if ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
 }
 
 // OpenWAL opens (or creates) the log at path, validates every existing
 // record, and hands each decoded batch to replay in append order. A
-// short tail — the signature of a torn final append — is truncated away
-// so the log is ready for new appends; any other damage is an
-// ErrWALCorrupt. replay may be nil to skip delivery (still validates).
+// short tail on the active segment — the signature of a torn final
+// append — is truncated away so the log is ready for new appends; any
+// other damage is an ErrWALCorrupt. replay may be nil to skip delivery
+// (still validates).
 func OpenWAL(path string, replay func(batch []Reading) error) (*WAL, error) {
+	return OpenWALAfter(path, 0, replay)
+}
+
+// OpenWALAfter opens the log, skipping sealed segments with sequence
+// <= base — those are folded into a snapshot the caller has already
+// loaded. Covered segments still on disk (a crash landed between the
+// snapshot commit and the segment deletes) are deleted here, finishing
+// the interrupted compaction. The sealed segments that remain must be
+// contiguous from base+1; a gap means a covered-by-nothing segment was
+// lost and the log cannot replay faithfully.
+func OpenWALAfter(path string, base uint64, replay func(batch []Reading) error) (*WAL, error) {
+	seqs, err := listSegments(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listing WAL segments: %w", err)
+	}
+	w := &WAL{path: path, seq: base + 1}
+	for _, seq := range seqs {
+		if seq <= base {
+			// Completing a crashed compaction: the snapshot covers this.
+			if err := os.Remove(segName(path, seq)); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("ingest: dropping snapshot-covered segment %d: %w", seq, err)
+			}
+			continue
+		}
+		if seq != w.seq {
+			return nil, fmt.Errorf("%w: sealed segment %d present but %d missing", ErrWALCorrupt, seq, w.seq)
+		}
+		if err := w.replaySealed(segName(path, seq), replay); err != nil {
+			return nil, err
+		}
+		w.sealed = append(w.sealed, seq)
+		w.seq = seq + 1
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: opening WAL: %w", err)
 	}
-	w := &WAL{f: f, path: path}
-	if err := w.recover(replay); err != nil {
+	w.f = f
+	if err := w.recoverActive(replay); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return w, nil
 }
 
-// recover scans the log, delivers complete batches, truncates a torn
-// tail, and positions the handle for appending.
-func (w *WAL) recover(replay func(batch []Reading) error) error {
+// replaySealed validates and delivers one sealed, immutable segment.
+// Sealed segments were fully fsynced before their rename, so unlike the
+// active file they tolerate no torn tail: every byte must parse.
+func (w *WAL) replaySealed(path string, replay func(batch []Reading) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("ingest: opening sealed segment: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("ingest: sealed segment stat: %w", err)
+	}
+	off, n, err := w.scan(f, info.Size(), path, replay)
+	if err != nil {
+		return err
+	}
+	if off < info.Size() {
+		return fmt.Errorf("%w: sealed segment %s has a torn tail at offset %d", ErrWALCorrupt, path, off)
+	}
+	w.records += n
+	return nil
+}
+
+// recoverActive scans the active file, delivers complete batches,
+// truncates a torn tail, and positions the handle for appending.
+func (w *WAL) recoverActive(replay func(batch []Reading) error) error {
 	info, err := w.f.Stat()
 	if err != nil {
 		return fmt.Errorf("ingest: WAL stat: %w", err)
@@ -114,56 +234,17 @@ func (w *WAL) recover(replay func(batch []Reading) error) error {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("ingest: syncing WAL header: %w", err)
 		}
+		w.end = walHeaderLen
 		_, err := w.f.Seek(walHeaderLen, io.SeekStart)
 		return err
 	}
 
-	var head [walHeaderLen]byte
-	if _, err := w.f.ReadAt(head[:], 0); err != nil {
-		return fmt.Errorf("ingest: reading WAL header: %w", err)
+	off, n, err := w.scan(w.f, size, w.path, replay)
+	if err != nil {
+		return err
 	}
-	if head != walMagic {
-		return fmt.Errorf("%w: %s is not a WAL (bad magic)", ErrWALCorrupt, w.path)
-	}
-
-	off := int64(walHeaderLen)
-	var rec [recHeaderLen]byte
-	for off < size {
-		if size-off < recHeaderLen {
-			break // torn tail: partial record header
-		}
-		if _, err := w.f.ReadAt(rec[:], off); err != nil {
-			return fmt.Errorf("ingest: reading WAL record at %d: %w", off, err)
-		}
-		n := int64(binary.LittleEndian.Uint32(rec[0:4]))
-		sum := binary.LittleEndian.Uint32(rec[4:8])
-		if n == 0 || n > maxRecordWire {
-			// A complete length field with a nonsense value cannot come
-			// from a torn single-write append.
-			return fmt.Errorf("%w: record at offset %d claims %d bytes", ErrWALCorrupt, off, n)
-		}
-		if size-off-recHeaderLen < n {
-			break // torn tail: partial payload
-		}
-		payload := make([]byte, n)
-		if _, err := w.f.ReadAt(payload, off+recHeaderLen); err != nil {
-			return fmt.Errorf("ingest: reading WAL record at %d: %w", off, err)
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			return fmt.Errorf("%w: checksum mismatch on complete record at offset %d", ErrWALCorrupt, off)
-		}
-		batch, err := DecodeBatch(payload)
-		if err != nil {
-			return fmt.Errorf("%w: record at offset %d: %v", ErrWALCorrupt, off, err)
-		}
-		if replay != nil {
-			if err := replay(batch); err != nil {
-				return err
-			}
-		}
-		w.records++
-		off += recHeaderLen + n
-	}
+	w.records += n
+	w.active = n
 	if off < size {
 		// Drop the torn tail so the next append starts on a record
 		// boundary; the lost suffix was never acknowledged as durable.
@@ -174,21 +255,95 @@ func (w *WAL) recover(replay func(batch []Reading) error) error {
 			return fmt.Errorf("ingest: syncing truncated WAL: %w", err)
 		}
 	}
+	w.end = off
 	_, err = w.f.Seek(off, io.SeekStart)
 	return err
 }
 
-// Records returns how many complete batches the log holds.
+// scan validates records from the start of one segment file, delivering
+// each complete batch, and returns the offset after the last complete
+// record plus the record count. An offset short of the file size means
+// a torn tail; the caller decides whether that is recoverable (active
+// segment) or corruption (sealed segment).
+func (w *WAL) scan(f *os.File, size int64, path string, replay func(batch []Reading) error) (int64, int, error) {
+	if size < walHeaderLen {
+		return 0, 0, fmt.Errorf("%w: segment %s shorter than its header", ErrWALCorrupt, path)
+	}
+	var head [walHeaderLen]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return 0, 0, fmt.Errorf("ingest: reading WAL header: %w", err)
+	}
+	if head != walMagic {
+		return 0, 0, fmt.Errorf("%w: %s is not a WAL (bad magic)", ErrWALCorrupt, path)
+	}
+	off := int64(walHeaderLen)
+	n := 0
+	var rec [recHeaderLen]byte
+	for off < size {
+		if size-off < recHeaderLen {
+			break // torn tail: partial record header
+		}
+		if _, err := f.ReadAt(rec[:], off); err != nil {
+			return 0, 0, fmt.Errorf("ingest: reading WAL record at %d: %w", off, err)
+		}
+		rlen := int64(binary.LittleEndian.Uint32(rec[0:4]))
+		sum := binary.LittleEndian.Uint32(rec[4:8])
+		if rlen == 0 || rlen > maxRecordWire {
+			// A complete length field with a nonsense value cannot come
+			// from a torn single-write append.
+			return 0, 0, fmt.Errorf("%w: record at offset %d claims %d bytes", ErrWALCorrupt, off, rlen)
+		}
+		if size-off-recHeaderLen < rlen {
+			break // torn tail: partial payload
+		}
+		payload := make([]byte, rlen)
+		if _, err := f.ReadAt(payload, off+recHeaderLen); err != nil {
+			return 0, 0, fmt.Errorf("ingest: reading WAL record at %d: %w", off, err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return 0, 0, fmt.Errorf("%w: checksum mismatch on complete record at offset %d", ErrWALCorrupt, off)
+		}
+		batch, err := DecodeBatch(payload)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: record at offset %d: %v", ErrWALCorrupt, off, err)
+		}
+		if replay != nil {
+			if err := replay(batch); err != nil {
+				return 0, 0, err
+			}
+		}
+		n++
+		off += recHeaderLen + rlen
+	}
+	return off, n, nil
+}
+
+// Records returns how many complete batches the log holds beyond any
+// snapshot base — replayed at open plus appended since.
 func (w *WAL) Records() int { return w.records }
+
+// ActiveBytes returns the durable size of the active segment — the
+// bytes a compaction would fold away.
+func (w *WAL) ActiveBytes() int64 { return w.end }
+
+// Broken reports whether the handle is poisoned by a failed fsync.
+func (w *WAL) Broken() bool { return w.broken }
 
 // Append encodes batch as one record, writes it in a single call, and
 // fsyncs before returning — only then may the caller apply the batch to
-// in-memory state. A failed fsync poisons the WAL (disk state is
-// unknowable) and every later Append is refused; the process must
-// restart and recover from the log.
+// in-memory state.
+//
+// Failure semantics follow the disk, not hope: a failed or short write
+// (ENOSPC mid-record) triggers self-healing — the file is truncated
+// back to the last durable record so the poisoned tail can never
+// masquerade as interior corruption on restart — and the WAL stays
+// usable for a later retry once space returns. A failed fsync is
+// different: the kernel may have dropped the dirty pages, so the handle
+// is poisoned (ErrWALPoisoned) and every later Append is refused; the
+// process must restart and recover from the log.
 func (w *WAL) Append(ctx context.Context, batch []Reading) error {
 	if w.broken {
-		return fmt.Errorf("ingest: WAL %s is poisoned by an earlier fsync failure", w.path)
+		return fmt.Errorf("%w (%s)", ErrWALPoisoned, w.path)
 	}
 	if len(batch) == 0 {
 		return nil
@@ -199,23 +354,125 @@ func (w *WAL) Append(ctx context.Context, batch []Reading) error {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 	rec := append(hdr[:], payload...)
-	if _, err := w.f.Write(rec); err != nil {
-		w.broken = true
-		return fmt.Errorf("ingest: appending WAL record: %w", err)
+	if _, err := resilience.Write(ctx, w.f, rec); err != nil {
+		return w.healAppend(err)
 	}
 	// Fault window: the record's bytes are written but not yet durable.
 	// A hook error here simulates fsync failure; a stalled hook lets a
 	// crash test SIGKILL the process mid-commit.
 	if err := resilience.Fire(ctx, resilience.FaultWALSync, w.records); err != nil {
 		w.broken = true
-		return fmt.Errorf("ingest: syncing WAL record: %w", err)
+		return fmt.Errorf("ingest: syncing WAL record: %w: %w", ErrWALPoisoned, err)
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := resilience.Sync(ctx, w.f); err != nil {
 		w.broken = true
-		return fmt.Errorf("ingest: syncing WAL record: %w", err)
+		return fmt.Errorf("ingest: syncing WAL record: %w: %w", ErrWALPoisoned, err)
 	}
 	w.records++
+	w.active++
+	w.end += int64(len(rec))
 	return nil
+}
+
+// healAppend recovers from a failed or short append write: truncate the
+// file back to the last durable record boundary (and reposition the
+// handle) so the torn tail is gone before anyone can mistake it for
+// interior damage. If the heal itself fails the handle is poisoned.
+func (w *WAL) healAppend(cause error) error {
+	if terr := w.f.Truncate(w.end); terr != nil {
+		w.broken = true
+		return fmt.Errorf("ingest: WAL append failed (%v) and truncating the torn tail failed: %w: %w", cause, ErrWALPoisoned, terr)
+	}
+	if _, serr := w.f.Seek(w.end, io.SeekStart); serr != nil {
+		w.broken = true
+		return fmt.Errorf("ingest: WAL append failed (%v) and repositioning failed: %w: %w", cause, ErrWALPoisoned, serr)
+	}
+	if serr := w.f.Sync(); serr != nil {
+		w.broken = true
+		return fmt.Errorf("ingest: WAL append failed (%v) and syncing the truncation failed: %w: %w", cause, ErrWALPoisoned, serr)
+	}
+	return fmt.Errorf("ingest: appending WAL record (tail truncated to last durable record): %w", cause)
+}
+
+// Rotate seals the active segment: the file (already durable — every
+// acknowledged append fsynced) is renamed to the next sealed-segment
+// name and a fresh active file replaces it. Returns the sealed
+// segment's sequence, or the newest already-sealed sequence when the
+// active file holds no records. A fault hook error at FaultWALRotate is
+// returned after the fresh active file is in place, so an injected
+// rotation failure leaves the log consistent — exactly what a crashed
+// compaction leaves for recovery to finish.
+func (w *WAL) Rotate(ctx context.Context) (uint64, error) {
+	if w.broken {
+		return 0, fmt.Errorf("%w (%s)", ErrWALPoisoned, w.path)
+	}
+	if w.active == 0 {
+		return w.seq - 1, nil
+	}
+	if err := w.f.Close(); err != nil {
+		w.broken = true
+		return 0, fmt.Errorf("ingest: closing active segment: %w: %w", ErrWALPoisoned, err)
+	}
+	sealed := w.seq
+	if err := os.Rename(w.path, segName(w.path, sealed)); err != nil {
+		w.broken = true
+		return 0, fmt.Errorf("ingest: sealing segment %d: %w: %w", sealed, ErrWALPoisoned, err)
+	}
+	// Rename durability is advisory: if the dir entry update is lost to a
+	// power cut, recovery sees the pre-rotation layout, which replays to
+	// the same matrix.
+	_ = resilience.SyncDir(filepath.Dir(w.path))
+	// Crash window: no active file exists at path.
+	ferr := resilience.Fire(ctx, resilience.FaultWALRotate, sealed)
+	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err == nil {
+		if _, werr := f.Write(walMagic[:]); werr != nil {
+			err = werr
+		} else {
+			err = f.Sync()
+		}
+	}
+	if err != nil {
+		w.broken = true
+		return 0, fmt.Errorf("ingest: starting fresh active segment: %w: %w", ErrWALPoisoned, err)
+	}
+	w.f = f
+	w.sealed = append(w.sealed, sealed)
+	w.seq = sealed + 1
+	w.active = 0
+	w.end = walHeaderLen
+	if ferr != nil {
+		return sealed, fmt.Errorf("ingest: rotating WAL: %w", ferr)
+	}
+	return sealed, nil
+}
+
+// DropThrough deletes sealed segments with sequence <= seq — they are
+// covered by a durably committed snapshot. Deletion is idempotent and
+// restartable: a crash partway through leaves covered segments that the
+// next OpenWALAfter removes.
+func (w *WAL) DropThrough(ctx context.Context, seq uint64) error {
+	kept := w.sealed[:0]
+	var failed error
+	for _, s := range w.sealed {
+		if s > seq || failed != nil {
+			kept = append(kept, s)
+			continue
+		}
+		name := segName(w.path, s)
+		if err := resilience.Fire(ctx, resilience.FaultCompactDelete, name); err != nil {
+			failed = fmt.Errorf("ingest: dropping compacted segment %d: %w", s, err)
+			kept = append(kept, s)
+			continue
+		}
+		if err := os.Remove(name); err != nil && !os.IsNotExist(err) {
+			failed = fmt.Errorf("ingest: dropping compacted segment %d: %w", s, err)
+			kept = append(kept, s)
+		}
+	}
+	w.sealed = append([]uint64(nil), kept...)
+	_ = resilience.SyncDir(filepath.Dir(w.path))
+	return failed
 }
 
 // Close releases the file handle. The log is already durable — every

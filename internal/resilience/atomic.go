@@ -20,15 +20,19 @@ import (
 // between the fsync and the rename so tests can kill a writer in the
 // commit window); pass context.Background() when no injector is in
 // play.
+// Temp-file writes and the pre-rename fsync go through the filesystem
+// fault seam (FaultWriteENOSPC, FaultShortWrite, FaultSyncEIO), so
+// exhaustion drills can fail any atomic write mid-stream and assert the
+// destination is untouched.
 func AtomicWriteFile(ctx context.Context, path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("resilience: writing %s: %w", path, err)
 	}
-	werr := write(tmp)
+	werr := write(&seamWriter{ctx: ctx, f: tmp})
 	if werr == nil {
-		werr = tmp.Sync()
+		werr = Sync(ctx, tmp)
 	}
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
@@ -49,3 +53,12 @@ func AtomicWriteFile(ctx context.Context, path string, write func(io.Writer) err
 	}
 	return nil
 }
+
+// seamWriter routes an atomic write's stream through the fault seam so
+// the injected failure modes of a real disk apply to temp files too.
+type seamWriter struct {
+	ctx context.Context
+	f   *os.File
+}
+
+func (w *seamWriter) Write(p []byte) (int, error) { return Write(w.ctx, w.f, p) }

@@ -50,6 +50,31 @@ const (
 	// before it is fsynced, with the entry sequence number as payload, so
 	// tests can crash a publisher between charging and committing.
 	FaultLedgerAppend Fault = "dp/ledger-append"
+	// FaultWriteENOSPC fires inside resilience.Write before the bytes hit
+	// the file, with a *WriteOp payload. A hook returning an error
+	// wrapping syscall.ENOSPC simulates a full disk: the write fails
+	// cleanly with nothing persisted.
+	FaultWriteENOSPC Fault = "fs/write-enospc"
+	// FaultSyncEIO fires inside resilience.Sync before the real fsync,
+	// with the file name as payload. A failing hook simulates the
+	// fsync-failure case where dirty pages may be silently dropped: the
+	// writer must reopen or refuse, never assume the data landed.
+	FaultSyncEIO Fault = "fs/sync-eio"
+	// FaultShortWrite fires inside resilience.Write before the real
+	// write, with a *WriteOp payload. A failing hook persists only a
+	// prefix of the record (WriteOp.Short bytes; half by default) — the
+	// ENOSPC-mid-record tear that leaves a poisoned tail on disk.
+	FaultShortWrite Fault = "fs/short-write"
+	// FaultWALRotate fires during WAL rotation after the active segment
+	// is sealed (renamed) but before the fresh active file exists, with
+	// the sealed segment's sequence number as payload — the window where
+	// a kill leaves the log with no active segment.
+	FaultWALRotate Fault = "ingest/wal-rotate"
+	// FaultCompactDelete fires before each snapshot-covered WAL segment
+	// is deleted during compaction, with the segment path as payload, so
+	// a kill can land with the snapshot written but covered segments
+	// still on disk.
+	FaultCompactDelete Fault = "ingest/compact-delete"
 )
 
 // Hook is a fault handler. Returning a non-nil error makes the injection

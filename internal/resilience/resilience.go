@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // retryableError marks an error as transient: re-running the failed stage
@@ -30,6 +31,36 @@ func MarkRetryable(err error) error {
 		return nil
 	}
 	return &retryableError{err: err}
+}
+
+// retryAfterError is a retryable error carrying a server-directed
+// backoff hint (an HTTP Retry-After, typically).
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string   { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error   { return e.err }
+func (e *retryAfterError) Retryable() bool { return true }
+
+// MarkRetryAfter wraps err as retryable with an explicit backoff hint:
+// Retry waits `after` (capped by Policy.MaxDelay) instead of the
+// policy's own schedule before the next attempt. A nil err stays nil.
+func MarkRetryAfter(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfterHint extracts the backoff hint from an error chain.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var r *retryAfterError
+	if errors.As(err, &r) {
+		return r.after, true
+	}
+	return 0, false
 }
 
 // IsRetryable reports whether retrying the failed operation with fresh
@@ -58,6 +89,15 @@ type Policy struct {
 	// schedule stays deterministic. A prime far from typical rep strides
 	// avoids colliding with seed+rep sequences.
 	SeedJitter int64
+	// BaseDelay, when positive, makes Retry sleep before each retry:
+	// BaseDelay before attempt 1, doubling per attempt (deterministic
+	// exponential backoff, no jitter — reproducibility beats thundering-
+	// herd smoothing at this scale). Zero keeps the historical behaviour
+	// of immediate retries.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff, including server-directed Retry-After
+	// hints. Zero with a positive BaseDelay defaults to 30s.
+	MaxDelay time.Duration
 }
 
 // DefaultPolicy retries twice with a prime jitter.
@@ -71,16 +111,56 @@ func (p Policy) Attempts() int {
 	return p.MaxAttempts
 }
 
+// DelayFor returns the deterministic backoff before the given retry
+// (attempt >= 1): BaseDelay << (attempt-1), capped at MaxDelay. A hint
+// (from MarkRetryAfter, i.e. a server's Retry-After) overrides the
+// schedule but still respects the cap — a confused upstream must not
+// park the pipeline for an hour.
+func (p Policy) DelayFor(attempt int, hint time.Duration, hinted bool) time.Duration {
+	if p.BaseDelay <= 0 && !hinted {
+		return 0
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if hinted && hint > 0 {
+		d = hint
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
 // Retry runs fn up to p.Attempts() times. fn receives the zero-based
 // attempt index and the deterministic seed offset for that attempt
 // (attempt*SeedJitter, so attempt 0 runs with the caller's exact seed).
 // It stops early on success, on a non-retryable error, or when ctx is
-// done, and returns the last error.
+// done, and returns the last error. Between attempts it sleeps the
+// policy's deterministic backoff (see DelayFor; zero BaseDelay means
+// the historical immediate retry), honouring ctx cancellation.
 func Retry(ctx context.Context, p Policy, fn func(attempt int, seedOffset int64) error) error {
 	var last error
 	for a := 0; a < p.Attempts(); a++ {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if a > 0 {
+			hint, hinted := RetryAfterHint(last)
+			if d := p.DelayFor(a, hint, hinted); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				case <-t.C:
+				}
+			}
 		}
 		last = fn(a, int64(a)*p.SeedJitter)
 		if last == nil || !IsRetryable(last) {

@@ -75,7 +75,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // nothing because its initial dataset load failed — so balancers steer
 // new traffic away before it gets shed with 429s or 400s. A *failed
 // reload* does not flip readiness: the previous generation keeps
-// answering.
+// answering. Transient 503s (saturation — the condition that clears by
+// itself) carry a Retry-After hint so polite probes back off instead of
+// tightening the loop that caused the saturation.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
@@ -83,6 +85,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	case s.initialLoadFailed.Load():
 		writeError(w, http.StatusServiceUnavailable, "initial dataset load failed; fix the files and reload")
 	case s.gate.saturated():
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusServiceUnavailable, "at capacity")
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{

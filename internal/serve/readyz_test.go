@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestReadyzSaturatedRetryAfter: the transient not-ready state —
+// saturation — advertises a Retry-After hint so probes and balancers
+// back off instead of tightening the load loop; the hint disappears
+// with the saturation.
+func TestReadyzSaturatedRetryAfter(t *testing.T) {
+	_, ts := newTestServer(t, context.Background(),
+		Config{Capacity: 1, Queue: 1, RetryAfter: 2 * time.Second})
+	s, _ := http.Get(ts.URL + "/readyz")
+	s.Body.Close()
+	if s.StatusCode != http.StatusOK || s.Header.Get("Retry-After") != "" {
+		t.Fatalf("idle readyz: %d, Retry-After=%q", s.StatusCode, s.Header.Get("Retry-After"))
+	}
+
+	srv, ts2 := newTestServer(t, context.Background(),
+		Config{Capacity: 1, Queue: 1, RetryAfter: 2 * time.Second})
+	// Fill every admission ticket (running + queued) so the gate reports
+	// saturation without parking goroutines on the capacity slots.
+	for i := 0; i < cap(srv.gate.tickets); i++ {
+		srv.gate.tickets <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(srv.gate.tickets); i++ {
+			<-srv.gate.tickets
+		}
+	}()
+	resp, err := http.Get(ts2.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated readyz: %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("saturated readyz Retry-After = %q, want \"2\"", got)
+	}
+}
