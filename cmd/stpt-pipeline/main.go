@@ -1,0 +1,203 @@
+// Command stpt-pipeline is the supervised continual-release daemon: one
+// long-running process driving ingest → windowed sanitisation →
+// tree-composed budget charge → atomic publication → query-daemon
+// reload, with every window's lifecycle journalled in a crash-safe
+// manifest so a SIGKILL at any instant recovers to the exact next step —
+// no window lost, none published twice, the budget never double-charged.
+//
+// One-shot (drain the feed, publish every covered window, exit):
+//
+//	stpt-pipeline -wal feed.wal -grid 16 -t 96 -window 24 \
+//	    -in readings.csv -out releases/ -manifest releases/manifest \
+//	    -ledger budget.ledger -eps-node 0.5 -budget 4
+//
+// Daemon (HTTP ingestion; windows publish as their data completes):
+//
+//	stpt-pipeline -wal feed.wal -grid 16 -t 96 -window 24 \
+//	    -listen :8091 -token s3cret -out releases/ -manifest releases/manifest \
+//	    -ledger budget.ledger -eps-node 0.5 -budget 4 \
+//	    -reload-url http://localhost:8092/-/reload -reload-token sesame
+//
+// Budget accounting is the binary-tree continual-release composition:
+// n windows cost ε_node·(⌊log₂ n⌋+1), not n·ε_node. When the lifetime
+// budget is exhausted the daemon degrades instead of dying: published
+// windows keep serving, /readyz answers 503 with budget_exhausted, and
+// an authenticated POST /-/budget with a larger ε resumes the stream
+// exactly where it stopped. In one-shot mode exhaustion exits with
+// status 2 so schedulers can tell "refused by budget" from a crash.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/ingest"
+	"repro/internal/pipeline"
+	"repro/internal/resilience"
+)
+
+func main() {
+	var (
+		walPath     = flag.String("wal", "", "write-ahead log path; required (replayed on start)")
+		gridSide    = flag.Int("grid", 16, "spatial grid side (Cx = Cy)")
+		tLen        = flag.Int("t", 0, "number of time intervals; required")
+		window      = flag.Int("window", 0, "time intervals per published window; required")
+		outDir      = flag.String("out", "", "output directory for window releases; required")
+		manifestF   = flag.String("manifest", "", "window-lifecycle manifest path (default: <out>/manifest)")
+		ledgerPath  = flag.String("ledger", "", "privacy-budget ledger file; required")
+		datasetF    = flag.String("dataset", "stream", "ledger dataset name the tree composer owns")
+		epsNode     = flag.Float64("eps-node", 0, "per-tree-node ε each window is sanitised with; required")
+		budget      = flag.Float64("budget", 0, "lifetime ε budget (0 = record only, never refuse)")
+		sens        = flag.Float64("sensitivity", 1, "per-cell L1 sensitivity of one reading")
+		seed        = flag.Int64("seed", 1, "base seed for deterministic window noise")
+		inPath      = flag.String("in", "", "one-shot mode: ingest this CSV ('-' = stdin), publish, exit")
+		listen      = flag.String("listen", "", "daemon mode: serve ingestion + supervision on this address")
+		token       = flag.String("token", "", "bearer token for mutating HTTP endpoints")
+		reloadURL   = flag.String("reload-url", "", "POST this URL after each publication (stpt-serve /-/reload)")
+		reloadToken = flag.String("reload-token", "", "bearer token for -reload-url")
+		interval    = flag.Duration("interval", time.Second, "daemon poll interval between idle checks")
+		batch       = flag.Int("batch", 256, "readings per WAL append+fsync")
+		retries     = flag.Int("stage-retries", 3, "attempts per pipeline stage on transient failures")
+		maxElapsed  = flag.Duration("stage-max-elapsed", 30*time.Second, "total wall-clock cap across one stage's retries")
+	)
+	flag.Parse()
+	switch {
+	case *walPath == "":
+		fatalf("missing -wal")
+	case *tLen <= 0:
+		fatalf("missing -t (number of time intervals)")
+	case *window <= 0:
+		fatalf("missing -window (intervals per release)")
+	case *outDir == "":
+		fatalf("missing -out (release directory)")
+	case *ledgerPath == "":
+		fatalf("missing -ledger (a continual release without a durable budget is not a DP pipeline)")
+	case *epsNode <= 0:
+		fatalf("missing -eps-node (per-node privacy budget)")
+	case *inPath == "" && *listen == "":
+		fatalf("nothing to do: give -in for one-shot mode or -listen for the daemon")
+	}
+	manifestPath := *manifestF
+	if manifestPath == "" {
+		manifestPath = *outDir + "/manifest"
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	in, err := ingest.New(ingest.Config{Cx: *gridSide, Cy: *gridSide, Ct: *tLen, BatchSize: *batch}, *walPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer in.Close()
+	if replayed := in.Stats().Replayed; replayed > 0 {
+		fmt.Fprintf(os.Stderr, "stpt-pipeline: replayed %d readings from %s\n", replayed, *walPath)
+	}
+	led, err := dp.OpenLedger(*ledgerPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer led.Close()
+	if err := os.MkdirAll(filepath.Dir(manifestPath), 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	man, err := pipeline.OpenManifest(manifestPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer man.Close()
+	if man.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "stpt-pipeline: manifest resumes at window %d, state %s\n",
+			man.LastWindow(), man.LastState())
+	}
+
+	cfg := pipeline.Config{
+		Dataset: *datasetF, OutDir: *outDir, Window: *window,
+		EpsNode: *epsNode, Budget: *budget, Sensitivity: *sens, Seed: *seed,
+		Policy: resilience.Policy{
+			MaxAttempts: *retries, BaseDelay: 100 * time.Millisecond,
+			MaxDelay: 5 * time.Second, MaxElapsed: *maxElapsed,
+		},
+	}
+	if *reloadURL != "" {
+		cfg.Notifier = pipeline.HTTPNotifier(*reloadURL, *reloadToken, nil)
+	}
+	sup, err := pipeline.New(cfg, in, led, man)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *listen != "" {
+		serveHTTP(ctx, sup, in, *listen, *token, *interval)
+		return
+	}
+
+	// One-shot: stream the feed in, then publish every covered window.
+	var src io.Reader = os.Stdin
+	if *inPath != "" && *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	accepted, quarantined, err := in.Ingest(ctx, src)
+	fmt.Fprintf(os.Stderr, "stpt-pipeline: accepted %d, quarantined %d\n", accepted, quarantined)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := sup.RunOnce(ctx); err != nil {
+		if errors.Is(err, dp.ErrBudgetExhausted) {
+			st := sup.Status()
+			fmt.Fprintf(os.Stderr, "stpt-pipeline: budget exhausted after %d windows (spent ε=%g of %g): %v\n",
+				st.Published, st.Spent, st.Budget, err)
+			os.Exit(2)
+		}
+		fatalf("%v", err)
+	}
+	st := sup.Status()
+	fmt.Fprintf(os.Stderr, "stpt-pipeline: %d windows published, spent ε=%g\n", st.Published, st.Spent)
+}
+
+// serveHTTP runs ingestion and supervision on one listener until the
+// context is cancelled, then drains.
+func serveHTTP(ctx context.Context, sup *pipeline.Supervisor, in *ingest.Ingester, addr, token string, interval time.Duration) {
+	h := pipeline.Handler(sup, pipeline.HandlerConfig{
+		Token:  token,
+		Ingest: ingest.Handler(in, ingest.HandlerConfig{Token: token}),
+	})
+	srv := &http.Server{Addr: addr, Handler: h}
+	errc := make(chan error, 2)
+	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- sup.Run(ctx, interval) }()
+	fmt.Fprintf(os.Stderr, "stpt-pipeline: listening on %s\n", addr)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "Server closed") {
+			fatalf("%v", err)
+		}
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "stpt-pipeline: drained")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stpt-pipeline: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// buildPipelineBin compiles the real binary once per test dir.
+func buildPipelineBin(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "stpt-pipeline")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// cliFeed renders one reading per (x,y,t) cell on a 2×2 grid over tMax
+// intervals.
+func cliFeed(tMax int) string {
+	var sb strings.Builder
+	for ti := 0; ti < tMax; ti++ {
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				fmt.Fprintf(&sb, "%d,%d,%d,%g\n", x, y, ti, float64(1+x+2*y+4*ti)/4)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TestOneShotPublishesEveryWindow builds the binary and drives a full
+// stream through one-shot mode: all four windows land, latest.csv is
+// the newest, and a re-run over the same WAL is a clean no-op.
+func TestOneShotPublishesEveryWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildPipelineBin(t, dir)
+
+	input := filepath.Join(dir, "readings.csv")
+	if err := os.WriteFile(input, []byte(cliFeed(12)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out")
+	run := func(in string) (string, error) {
+		cmd := exec.Command(bin,
+			"-wal", filepath.Join(dir, "feed.wal"), "-grid", "2", "-t", "12",
+			"-window", "3", "-in", in, "-out", out,
+			"-ledger", filepath.Join(dir, "budget.ledger"),
+			"-eps-node", "0.5", "-budget", "4", "-seed", "42")
+		var buf bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &buf, &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	log, err := run(input)
+	if err != nil {
+		t.Fatalf("one-shot run failed: %v\n%s", err, log)
+	}
+	if !strings.Contains(log, "4 windows published") {
+		t.Fatalf("one-shot output: %s", log)
+	}
+	var windows [4][]byte
+	for w := 1; w <= 4; w++ {
+		b, err := os.ReadFile(filepath.Join(out, fmt.Sprintf("window-%06d.csv", w)))
+		if err != nil {
+			t.Fatalf("window %d missing: %v", w, err)
+		}
+		windows[w-1] = b
+	}
+	latest, err := os.ReadFile(filepath.Join(out, "latest.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(latest, windows[3]) {
+		t.Fatal("latest.csv is not the newest window")
+	}
+
+	// Same WAL, nothing new to say: the manifest resumes at the tip and
+	// publishes nothing — the files do not change.
+	log, err = run(empty)
+	if err != nil {
+		t.Fatalf("idle re-run failed: %v\n%s", err, log)
+	}
+	if !strings.Contains(log, "manifest resumes at window 4, state reloaded") {
+		t.Fatalf("re-run did not resume from the manifest: %s", log)
+	}
+	again, err := os.ReadFile(filepath.Join(out, "window-000004.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, windows[3]) {
+		t.Fatal("idle re-run rewrote a published window")
+	}
+}
+
+// TestDaemonIngestToPublish runs the binary as the long-lived daemon:
+// readings arrive over HTTP, windows publish as their spans complete,
+// the reload notifier rings once per window, and SIGINT drains cleanly.
+func TestDaemonIngestToPublish(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildPipelineBin(t, dir)
+
+	// Count authenticated reload notifications from the daemon.
+	var reloads atomic.Int64
+	notify := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.Header.Get("Authorization") != "Bearer sesame" {
+			w.WriteHeader(http.StatusForbidden)
+			return
+		}
+		reloads.Add(1)
+	}))
+	defer notify.Close()
+
+	// Grab a free port; the tiny reuse window is fine for a smoke test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(bin,
+		"-wal", filepath.Join(dir, "feed.wal"), "-grid", "2", "-t", "12",
+		"-window", "3", "-listen", addr, "-token", "s3cret",
+		"-out", filepath.Join(dir, "out"),
+		"-ledger", filepath.Join(dir, "budget.ledger"),
+		"-eps-node", "0.5", "-budget", "4", "-seed", "42",
+		"-interval", "50ms",
+		"-reload-url", notify.URL, "-reload-token", "sesame")
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	waitFor := func(desc string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for !ok() {
+			select {
+			case err := <-done:
+				t.Fatalf("daemon exited waiting for %s (%v)\n%s", desc, err, buf.String())
+			default:
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s\n%s", desc, buf.String())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	waitFor("daemon to listen", func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	req, _ := http.NewRequest(http.MethodPost, base+"/ingest", strings.NewReader(cliFeed(12)))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /ingest: %d", resp.StatusCode)
+	}
+
+	published := func() int {
+		resp, err := http.Get(base + "/status")
+		if err != nil {
+			return -1
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Published int `json:"published"`
+		}
+		json.NewDecoder(resp.Body).Decode(&st)
+		return st.Published
+	}
+	waitFor("all four windows to publish", func() bool { return published() == 4 })
+	waitFor("four reload notifications", func() bool { return reloads.Load() == 4 })
+
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+
+	// SIGINT drains: clean exit, windows on disk.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGINT: %v\n%s", err, buf.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon never drained\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "drained") {
+		t.Fatalf("daemon log: %s", buf.String())
+	}
+	for w := 1; w <= 4; w++ {
+		if _, err := os.Stat(filepath.Join(dir, "out", fmt.Sprintf("window-%06d.csv", w))); err != nil {
+			t.Fatalf("window %d missing after drain: %v", w, err)
+		}
+	}
+}
+
+// TestOneShotBudgetExhaustionExitsTwo: a budget too small for the whole
+// stream publishes what it can and exits with the dedicated status 2,
+// so schedulers can tell a budget refusal from a crash.
+func TestOneShotBudgetExhaustionExitsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	dir := t.TempDir()
+	bin := buildPipelineBin(t, dir)
+
+	input := filepath.Join(dir, "readings.csv")
+	if err := os.WriteFile(input, []byte(cliFeed(12)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// ε_node 0.5, budget 1.0: windows 1–3 fit (levels 0+1), window 4
+	// opens tree level 2 and must be refused.
+	cmd := exec.Command(bin,
+		"-wal", filepath.Join(dir, "feed.wal"), "-grid", "2", "-t", "12",
+		"-window", "3", "-in", input, "-out", filepath.Join(dir, "out"),
+		"-ledger", filepath.Join(dir, "budget.ledger"),
+		"-eps-node", "0.5", "-budget", "1")
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	err := cmd.Run()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 2 {
+		t.Fatalf("exhausted run: %v, want exit 2\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "budget exhausted after 3 windows") {
+		t.Fatalf("exhaustion output: %s", buf.String())
+	}
+	for w := 1; w <= 3; w++ {
+		if _, err := os.Stat(filepath.Join(dir, "out", fmt.Sprintf("window-%06d.csv", w))); err != nil {
+			t.Fatalf("window %d vanished on refusal: %v", w, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out", "window-000004.csv")); err == nil {
+		t.Fatal("refused window 4 was published anyway")
+	}
+}

@@ -106,7 +106,17 @@ func Handler(in *Ingester, cfg HandlerConfig) http.Handler {
 		}
 		if err := cfg.Publish(); err != nil {
 			if errors.Is(err, dp.ErrBudgetExhausted) {
-				writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+				// Surface the refusal's exact arithmetic so operators can
+				// see what was asked, spent, and allowed without log access.
+				body := map[string]any{"error": err.Error(), "budget_exhausted": true}
+				var be *dp.BudgetError
+				if errors.As(err, &be) {
+					body["dataset"] = be.Dataset
+					body["spent"] = be.Spent
+					body["budget"] = be.Budget
+					body["requested"] = be.Requested
+				}
+				writeJSON(w, http.StatusConflict, body)
 				return
 			}
 			writeIngestError(w, err, map[string]any{"error": err.Error()})

@@ -1,0 +1,79 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dp"
+)
+
+// TestPublishOverBudget409Body pins the over-budget wire contract: the
+// 409 body must carry the refusal's exact arithmetic (dataset, spent,
+// budget, requested) as typed JSON fields, not just a prose error, so
+// automated callers — the pipeline supervisor among them — can react
+// without parsing messages.
+func TestPublishOverBudget409Body(t *testing.T) {
+	dir := t.TempDir()
+	in, err := New(Config{Cx: 2, Cy: 2, Ct: 2, BatchSize: 4}, filepath.Join(dir, "w.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	led, err := dp.OpenLedger(filepath.Join(dir, "ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+
+	// Budget 1.5: the first 1.0 publish fits, the second must be refused.
+	publishes := 0
+	h := Handler(in, HandlerConfig{Publish: func() error {
+		publishes++
+		return in.Publish(context.Background(), filepath.Join(dir, fmt.Sprintf("e%d.csv", publishes)),
+			led, dp.LedgerEntry{Dataset: "grid", EpsSanitize: 1.0}, 1.5)
+	}})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	post := func(path string) (int, map[string]any) {
+		resp, err := http.Post(ts.URL+path, "text/csv", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	if status, body := post("/-/publish"); status != http.StatusOK {
+		t.Fatalf("first publish: %d %v", status, body)
+	}
+	status, body := post("/-/publish")
+	if status != http.StatusConflict {
+		t.Fatalf("over-budget publish: %d %v, want 409", status, body)
+	}
+	if body["budget_exhausted"] != true {
+		t.Fatalf("409 body missing budget_exhausted: %v", body)
+	}
+	if body["dataset"] != "grid" {
+		t.Fatalf("409 body dataset = %v, want %q", body["dataset"], "grid")
+	}
+	for field, want := range map[string]float64{"spent": 1.0, "budget": 1.5, "requested": 1.0} {
+		got, ok := body[field].(float64)
+		if !ok || got != want {
+			t.Fatalf("409 body %s = %v, want %v (full body: %v)", field, body[field], want, body)
+		}
+	}
+	if msg, _ := body["error"].(string); msg == "" {
+		t.Fatalf("409 body has no error message: %v", body)
+	}
+}

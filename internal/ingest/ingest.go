@@ -120,6 +120,7 @@ type Ingester struct {
 	stats    Stats
 	batch    int   // ordinal of the next batch commit, for fault payloads
 	dirty    int   // batches committed since the last durable snapshot
+	maxT     int   // newest interval with an accepted reading; -1 before any
 	lastErr  error // last durable-write failure; nil once a write succeeds
 }
 
@@ -135,7 +136,7 @@ func New(cfg Config, walPath string) (*Ingester, error) {
 	if err != nil {
 		return nil, err
 	}
-	in := &Ingester{cfg: cfg, snapPath: walPath + ".snap"}
+	in := &Ingester{cfg: cfg, snapPath: walPath + ".snap", maxT: -1}
 	snap, err := LoadSnapshot(in.snapPath)
 	if err != nil {
 		return nil, err
@@ -151,6 +152,19 @@ func New(cfg Config, walPath string) (*Ingester, error) {
 		in.stats.Accepted = int64(snap.Accepted)
 		in.batch = int(snap.Batches)
 		base = snap.Upto
+		// The snapshot stores cells, not readings, so the high-water mark
+		// is re-derived from the newest interval with any consumption.
+		// (A folded-away reading of exactly 0 is invisible here; the mark
+		// only gates when a window *may* be cut, so an underestimate
+		// merely delays the cut — it can never unfreeze published data.)
+		for t := cfg.Ct - 1; t >= 0 && in.maxT < 0; t-- {
+			for _, v := range in.m.TimeSlice(t) {
+				if v != 0 {
+					in.maxT = t
+					break
+				}
+			}
+		}
 	} else {
 		in.m = grid.NewMatrix(cfg.Cx, cfg.Cy, cfg.Ct)
 	}
@@ -161,6 +175,9 @@ func New(cfg Config, walPath string) (*Ingester, error) {
 					r.X, r.Y, r.T, cfg.Cx, cfg.Cy, cfg.Ct)
 			}
 			in.m.AddAt(r.X, r.Y, r.T, r.V)
+			if r.T > in.maxT {
+				in.maxT = r.T
+			}
 		}
 		in.stats.Replayed += int64(len(batch))
 		in.stats.Accepted += int64(len(batch))
@@ -347,6 +364,9 @@ func (in *Ingester) commitLocked(ctx context.Context) error {
 	}
 	for _, r := range in.pending {
 		in.m.AddAt(r.X, r.Y, r.T, r.V)
+		if r.T > in.maxT {
+			in.maxT = r.T
+		}
 	}
 	in.batch++
 	in.dirty++
@@ -432,6 +452,38 @@ func (in *Ingester) Flush(ctx context.Context) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.commitLocked(ctx)
+}
+
+// HighWater returns the exclusive upper bound of time intervals that
+// hold durably accepted data: 1 + the newest interval any committed
+// reading landed in (0 before the first commit). The continual-release
+// pipeline uses it to decide when a window may be cut: window [t0, t1)
+// is cut once HighWater ≥ t1, i.e. once the feed has delivered a
+// reading at or past the window's end. Readings for an already-cut
+// window that arrive later still accumulate in the matrix but are not
+// part of that window's frozen cut — event-time lateness is bounded by
+// the cut policy, not hidden by it.
+func (in *Ingester) HighWater() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.maxT + 1
+}
+
+// CutWindow returns a frozen copy of the consumption matrix restricted
+// to intervals [t0, t1) — the unit the continual-release pipeline
+// sanitises and publishes. Only durably committed readings are
+// included (the pending tail is not), so a crash immediately after the
+// cut replays to a matrix that contains everything the cut saw.
+func (in *Ingester) CutWindow(t0, t1 int) (*grid.Matrix, error) {
+	if t0 < 0 || t1 <= t0 || t1 > in.cfg.Ct {
+		return nil, fmt.Errorf("ingest: window [%d,%d) outside the configured %d intervals", t0, t1, in.cfg.Ct)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := grid.NewMatrix(in.cfg.Cx, in.cfg.Cy, t1-t0)
+	plane := in.cfg.Cx * in.cfg.Cy
+	copy(out.Data(), in.m.Data()[t0*plane:t1*plane])
+	return out, nil
 }
 
 // Snapshot returns a copy of the current consumption matrix.

@@ -349,3 +349,84 @@ func TestIngestBatchBoundaries(t *testing.T) {
 		t.Fatalf("stats = %+v, want 3 batches / 7 accepted", got)
 	}
 }
+
+// TestHighWaterAndCutWindow: the window-cut API the pipeline builds on.
+// HighWater tracks the newest committed interval across live ingest,
+// WAL replay, and snapshot-compaction restore; CutWindow freezes an
+// exact [t0,t1) sub-matrix of committed data.
+func TestHighWaterAndCutWindow(t *testing.T) {
+	const cx, cy, ct = 3, 2, 8
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "hw.wal")
+	in, err := New(Config{Cx: cx, Cy: cy, Ct: ct, BatchSize: 4}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.HighWater(); got != 0 {
+		t.Fatalf("fresh HighWater = %d, want 0", got)
+	}
+
+	readings := []Reading{{0, 0, 0, 1.5}, {2, 1, 3, 2.25}, {1, 0, 1, 4}}
+	if _, _, err := in.Ingest(context.Background(), strings.NewReader(readingsCSV(readings))); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.HighWater(); got != 4 {
+		t.Fatalf("HighWater = %d after a reading at t=3, want 4", got)
+	}
+
+	// CutWindow freezes exactly the requested intervals.
+	cut, err := in.CutWindow(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrixOf([]Reading{{0, 0, 0, 1.5}, {1, 0, 1, 4}}, cx, cy, 2)
+	if !matricesEqual(cut, want) {
+		t.Fatal("CutWindow(0,2) does not match the committed readings")
+	}
+	// The cut is a copy: later arrivals must not mutate it.
+	if _, _, err := in.Ingest(context.Background(), strings.NewReader("0,0,1,9\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(cut, want) {
+		t.Fatal("a cut window changed after later ingest")
+	}
+
+	// Out-of-range windows refuse.
+	for _, bad := range [][2]int{{-1, 2}, {2, 2}, {3, 1}, {0, ct + 1}} {
+		if _, err := in.CutWindow(bad[0], bad[1]); err == nil {
+			t.Errorf("CutWindow(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+
+	// WAL replay restores the high-water mark.
+	in.Close()
+	re, err := New(Config{Cx: cx, Cy: cy, Ct: ct, BatchSize: 4}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.HighWater(); got != 4 {
+		t.Fatalf("HighWater = %d after WAL replay, want 4", got)
+	}
+
+	// Snapshot compaction folds the WAL away; a restore from the
+	// snapshot must still report the mark.
+	if err := re.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := New(Config{Cx: cx, Cy: cy, Ct: ct, BatchSize: 4}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := re2.HighWater(); got != 4 {
+		t.Fatalf("HighWater = %d after snapshot restore, want 4", got)
+	}
+	cut2, err := re2.CutWindow(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(cut2, matrixOf([]Reading{{0, 0, 0, 1.5}, {1, 0, 1, 4}, {0, 0, 1, 9}}, cx, cy, 2)) {
+		t.Fatal("CutWindow after snapshot restore lost readings")
+	}
+}

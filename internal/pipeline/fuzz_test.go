@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// FuzzManifestDecode hammers the line parser recovery trusts: no input
+// may panic it, and anything it accepts must be a structurally valid
+// record — recovery builds the resume decision on these fields, so a
+// parser that lets garbage through corrupts the pipeline's idea of
+// which windows really published.
+func FuzzManifestDecode(f *testing.F) {
+	valid := func(doc string) string {
+		return fmt.Sprintf("%08x %s", crc32.ChecksumIEEE([]byte(doc)), doc)
+	}
+	f.Add([]byte(valid(`{"seq":1,"window":1,"state":"cut","t0":0,"t1":4,"seed":42}`)))
+	f.Add([]byte(valid(`{"seq":2,"window":1,"state":"released","crc":305419896}`)))
+	f.Add([]byte(valid(`{"seq":3,"window":1,"state":"charged","eps":0.5,"levels":[0]}`)))
+	f.Add([]byte(valid(`{"seq":4,"window":1,"state":"published"}`)))
+	f.Add([]byte(valid(`{"seq":5,"window":1,"state":"reloaded"}`)))
+	// Torn tail: a prefix of a valid line.
+	f.Add([]byte(valid(`{"seq":1,"window":1,"state":"cut","t0":0,"t1":4}`)[:20]))
+	// Interior corruption: right checksum, flipped body byte.
+	f.Add([]byte(`deadbeef {"seq":1,"window":1,"state":"cut","t0":0,"t1":4}`))
+	f.Add([]byte(""))
+	f.Add([]byte("00000000 "))
+	f.Add([]byte(valid(`{"seq":-1,"window":0,"state":"warp","eps":-5}`)))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := DecodeLine(line)
+		if err != nil {
+			return
+		}
+		if _, known := stateOrder[rec.State]; !known {
+			t.Fatalf("accepted unknown state %q from %q", rec.State, line)
+		}
+		if rec.Seq < 1 || rec.Window < 1 {
+			t.Fatalf("accepted seq=%d window=%d from %q", rec.Seq, rec.Window, line)
+		}
+		if rec.Eps < 0 || math.IsNaN(rec.Eps) || math.IsInf(rec.Eps, 0) {
+			t.Fatalf("accepted ε=%v from %q", rec.Eps, line)
+		}
+		if rec.State == StateCut && rec.T1 <= rec.T0 {
+			t.Fatalf("accepted empty cut span [%d,%d) from %q", rec.T0, rec.T1, line)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// HandlerConfig wires a Supervisor into an HTTP surface.
+type HandlerConfig struct {
+	// Token guards the mutating endpoints (bearer auth); empty disables
+	// auth, which is only sane on localhost.
+	Token string
+	// Ingest, when non-nil, answers every path the pipeline mux does
+	// not claim — typically ingest.Handler, so one listener serves both
+	// the feed (/ingest, /stats, /-/compact) and the supervisor.
+	Ingest http.Handler
+}
+
+// Handler exposes the supervisor over HTTP:
+//
+//	GET  /healthz    liveness
+//	GET  /readyz     readiness: 503 while the budget is exhausted (the
+//	                 last good generation keeps serving, but no new
+//	                 windows will publish until the budget is raised)
+//	GET  /status     full supervisor snapshot
+//	POST /-/budget   {"budget": ε} — raise (or lower) the lifetime
+//	                 budget; raising it resumes a degraded pipeline
+//
+// plus whatever cfg.Ingest serves underneath.
+func Handler(s *Supervisor, cfg HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Status()
+		if st.BudgetExhausted {
+			writeJSON(w, http.StatusServiceUnavailable, st)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+	mux.HandleFunc("/-/budget", func(w http.ResponseWriter, r *http.Request) {
+		if !authorised(w, r, cfg.Token) {
+			return
+		}
+		var body struct {
+			Budget *float64 `json:"budget"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Budget == nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": `body must be {"budget": <ε>}`})
+			return
+		}
+		s.SetBudget(*body.Budget)
+		writeJSON(w, http.StatusOK, map[string]any{"budget": *body.Budget})
+	})
+	if cfg.Ingest != nil {
+		mux.Handle("/", cfg.Ingest)
+	}
+	return mux
+}
+
+// authorised enforces method and bearer-token auth for the pipeline's
+// mutating endpoints, mirroring the ingest daemon's discipline.
+func authorised(w http.ResponseWriter, r *http.Request, token string) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "POST required"})
+		return false
+	}
+	if token == "" {
+		return true
+	}
+	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+		writeJSON(w, http.StatusForbidden, map[string]any{"error": "missing or invalid bearer token"})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

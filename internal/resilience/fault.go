@@ -75,6 +75,28 @@ const (
 	// a kill can land with the snapshot written but covered segments
 	// still on disk.
 	FaultCompactDelete Fault = "ingest/compact-delete"
+	// FaultWindowCut fires in the continual-release pipeline after a
+	// window's boundaries are decided but before its frozen cut file is
+	// written, with the window ordinal (int) as payload. A stalled hook
+	// lets a chaos test SIGKILL the supervisor before anything about the
+	// window is durable.
+	FaultWindowCut Fault = "pipeline/window-cut"
+	// FaultWindowPublish fires after a window's ledger charge is durable
+	// but before its release is copied to the public output paths, with
+	// the window ordinal as payload — the window where a kill leaves a
+	// charged-but-unpublished release that recovery must finish, not
+	// re-charge.
+	FaultWindowPublish Fault = "pipeline/window-publish"
+	// FaultReloadNotify fires before the pipeline notifies the serving
+	// daemon of a published window, with the window ordinal as payload. A
+	// kill here leaves the release published but the server on the
+	// previous generation; recovery must re-notify without re-publishing.
+	FaultReloadNotify Fault = "pipeline/reload-notify"
+	// FaultManifestAppend fires before a window-manifest record is
+	// written, with the *Record as payload, so a chaos test can kill the
+	// supervisor between a stage's durable action and the manifest line
+	// that acknowledges it — the transition recovery must re-derive.
+	FaultManifestAppend Fault = "pipeline/manifest-append"
 )
 
 // Hook is a fault handler. Returning a non-nil error makes the injection

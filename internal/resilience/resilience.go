@@ -98,6 +98,12 @@ type Policy struct {
 	// MaxDelay caps the backoff, including server-directed Retry-After
 	// hints. Zero with a positive BaseDelay defaults to 30s.
 	MaxDelay time.Duration
+	// MaxElapsed, when positive, bounds the total wall-clock time Retry
+	// spends across all attempts: once starting the next backoff sleep
+	// would push past the cap, Retry gives up and returns the last error
+	// instead. Supervised restart loops set this so a stage that keeps
+	// failing cannot back off unboundedly and stall the pipeline.
+	MaxElapsed time.Duration
 }
 
 // DefaultPolicy retries twice with a prime jitter.
@@ -143,8 +149,11 @@ func (p Policy) DelayFor(attempt int, hint time.Duration, hinted bool) time.Dura
 // It stops early on success, on a non-retryable error, or when ctx is
 // done, and returns the last error. Between attempts it sleeps the
 // policy's deterministic backoff (see DelayFor; zero BaseDelay means
-// the historical immediate retry), honouring ctx cancellation.
+// the historical immediate retry), honouring ctx cancellation. A
+// positive MaxElapsed additionally stops retrying once the next sleep
+// would exceed the total time budget.
 func Retry(ctx context.Context, p Policy, fn func(attempt int, seedOffset int64) error) error {
+	start := time.Now()
 	var last error
 	for a := 0; a < p.Attempts(); a++ {
 		if err := ctx.Err(); err != nil {
@@ -152,7 +161,11 @@ func Retry(ctx context.Context, p Policy, fn func(attempt int, seedOffset int64)
 		}
 		if a > 0 {
 			hint, hinted := RetryAfterHint(last)
-			if d := p.DelayFor(a, hint, hinted); d > 0 {
+			d := p.DelayFor(a, hint, hinted)
+			if p.MaxElapsed > 0 && time.Since(start)+d > p.MaxElapsed {
+				return last
+			}
+			if d > 0 {
 				t := time.NewTimer(d)
 				select {
 				case <-ctx.Done():

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRetryableClassification(t *testing.T) {
@@ -91,6 +92,47 @@ func TestRetryExhaustsAttempts(t *testing.T) {
 	// The exhausted error stays retryable so outer layers can degrade.
 	if !IsRetryable(err) {
 		t.Fatal("exhausted error lost its class")
+	}
+}
+
+func TestRetryMaxElapsedCapsBackoff(t *testing.T) {
+	// A supervised restart loop must not back off unboundedly: with a
+	// 2ms base delay and a 20ms total budget, far fewer than the 1000
+	// allowed attempts can run before the cap refuses the next sleep.
+	p := Policy{MaxAttempts: 1000, BaseDelay: 2 * time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, MaxElapsed: 20 * time.Millisecond}
+	attempts := 0
+	boom := errors.New("still failing")
+	start := time.Now()
+	err := Retry(context.Background(), p, func(int, int64) error {
+		attempts++
+		return MarkRetryable(boom)
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the last error back, got %v", err)
+	}
+	// The cap, not the attempt count, must have stopped the loop: at
+	// least two attempts ran (the first is free), but nowhere near 1000,
+	// and the sum of sleeps stayed in the budget's ballpark.
+	if attempts < 2 || attempts >= 1000 {
+		t.Fatalf("attempts = %d, want a handful bounded by MaxElapsed", attempts)
+	}
+	if attempts > 12 {
+		t.Fatalf("attempts = %d exceeds the ~10 the 20ms budget allows for 2ms sleeps", attempts)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("retry loop ran %v despite a 20ms MaxElapsed", elapsed)
+	}
+	// Zero MaxElapsed keeps the historical behaviour: attempts bound.
+	p.MaxElapsed = 0
+	p.MaxAttempts = 3
+	attempts = 0
+	if err := Retry(context.Background(), p, func(int, int64) error {
+		attempts++
+		return MarkRetryable(boom)
+	}); !errors.Is(err, boom) || attempts != 3 {
+		t.Fatalf("uncapped policy: err=%v attempts=%d, want 3 attempts", err, attempts)
 	}
 }
 

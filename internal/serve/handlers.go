@@ -109,7 +109,9 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			Total: rel.Matrix.Total(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"datasets": infos, "generation": s.store.Generation(),
+	})
 }
 
 // handleReload is the authenticated zero-downtime reload trigger:

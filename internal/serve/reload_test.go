@@ -182,6 +182,65 @@ func TestFailedReloadKeepsServing(t *testing.T) {
 	}
 }
 
+// TestFailedReloadKeepsGeneration pins the observability half of the
+// failure path: the generation id names the set that stayed live — it
+// must not move on a failed reload, the structured stderr line must
+// carry it, and the old generation must still be the one answering.
+func TestFailedReloadKeepsGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rel.csv")
+	v1 := testMatrix()
+	writeRelease(t, path, v1)
+	s, ts := newReloadServer(t, path, "sesame")
+
+	// One successful reload first, so the live generation is not the
+	// LoadAll one and the "unchanged" assertion is not vacuous.
+	if status, body := postReload(t, ts.URL, "sesame"); status != http.StatusOK {
+		t.Fatalf("warm-up reload: status %d, body %s", status, body)
+	}
+	genBefore := s.store.Generation()
+	if genBefore == 0 {
+		t.Fatal("generation still 0 after LoadAll + reload")
+	}
+
+	// Capture stderr across the failed reload to assert the log line.
+	origStderr := os.Stderr
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	if err := os.WriteFile(path, []byte("x,y,t,value\n0,0,0,nope\n"), 0o644); err != nil {
+		os.Stderr = origStderr
+		t.Fatal(err)
+	}
+	status, _ := postReload(t, ts.URL, "sesame")
+	pw.Close()
+	os.Stderr = origStderr
+	logged := make([]byte, 4096)
+	n, _ := pr.Read(logged)
+	pr.Close()
+
+	if status != http.StatusInternalServerError {
+		t.Fatalf("reload of corrupt file: status %d, want 500", status)
+	}
+	if got := s.store.Generation(); got != genBefore {
+		t.Fatalf("failed reload moved the generation: %d -> %d", genBefore, got)
+	}
+	wantLine := fmt.Sprintf("outcome=failed generation=%d", genBefore)
+	if !strings.Contains(string(logged[:n]), wantLine) {
+		t.Fatalf("stderr %q does not name the live generation (%q)", logged[:n], wantLine)
+	}
+	// The named generation really is the one serving.
+	if got := querySum(t, ts.URL); got != v1.Total() {
+		t.Fatalf("sum after failed reload %g, want old generation's %g", got, v1.Total())
+	}
+	// /datasets exposes the same id, so operators can correlate.
+	status, body := get(t, ts.URL+"/datasets")
+	if status != http.StatusOK || !strings.Contains(string(body), fmt.Sprintf(`"generation":%d`, genBefore)) {
+		t.Fatalf("/datasets: status %d, body %s; want generation %d", status, body, genBefore)
+	}
+}
+
 // TestInitialLoadFailureRepairedByReload: a daemon that came up with a
 // bad file serves 503 on /readyz (with the cause named) until a reload
 // with fixed files succeeds — then readiness returns and queries flow.

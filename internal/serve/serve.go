@@ -71,12 +71,15 @@ func (s *Server) MarkInitialLoad(err error) {
 // initial-load-failed readiness latch.
 func (s *Server) Reload() error {
 	if err := s.store.Reload(); err != nil {
-		fmt.Fprintf(os.Stderr, "serve: event=reload outcome=failed kept=%v error=%q\n",
-			s.store.Names(), err.Error())
+		// generation names the set that stayed live, so the log line
+		// answers "what is serving right now" without a second probe.
+		fmt.Fprintf(os.Stderr, "serve: event=reload outcome=failed generation=%d kept=%v error=%q\n",
+			s.store.Generation(), s.store.Names(), err.Error())
 		return err
 	}
 	s.initialLoadFailed.Store(false)
-	fmt.Fprintf(os.Stderr, "serve: event=reload outcome=ok datasets=%v\n", s.store.Names())
+	fmt.Fprintf(os.Stderr, "serve: event=reload outcome=ok generation=%d datasets=%v\n",
+		s.store.Generation(), s.store.Names())
 	return nil
 }
 

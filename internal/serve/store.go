@@ -36,6 +36,12 @@ type Release struct {
 type releaseSet struct {
 	rel   map[string]*Release
 	names []string // sorted
+	// gen is the monotonically increasing generation id assigned when
+	// this set was published. Operators correlate it across logs: a
+	// failed reload reports the generation that stayed live, so "which
+	// data is actually serving right now" is answerable from stderr
+	// alone.
+	gen uint64
 }
 
 func newReleaseSet(rel map[string]*Release) *releaseSet {
@@ -54,17 +60,33 @@ func newReleaseSet(rel map[string]*Release) *releaseSet {
 // in-flight queries finish on the snapshot they already loaded while
 // new requests see the new generation.
 type Store struct {
-	mu    sync.Mutex // serialises writers; readers never take it
-	cur   atomic.Pointer[releaseSet]
-	specs []LoadSpec // the configured load set, re-read by Reload
+	mu     sync.Mutex // serialises writers; readers never take it
+	cur    atomic.Pointer[releaseSet]
+	specs  []LoadSpec // the configured load set, re-read by Reload
+	genSeq uint64     // last assigned generation id; guarded by mu
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store. The empty set is generation 0; every
+// successful publish — Add, LoadAll, Reload — bumps the generation.
 func NewStore() *Store {
 	s := &Store{}
 	s.cur.Store(newReleaseSet(map[string]*Release{}))
 	return s
 }
+
+// publishLocked assigns the next generation id and swaps the set in.
+// Callers hold s.mu, so the ids a reader observes are monotonic.
+func (s *Store) publishLocked(set *releaseSet) {
+	s.genSeq++
+	set.gen = s.genSeq
+	s.cur.Store(set)
+}
+
+// Generation returns the id of the currently serving release set: 0 for
+// the initial empty set, then one per successful swap. A failed Reload
+// leaves it unchanged — the number names the data still answering
+// queries.
+func (s *Store) Generation() uint64 { return s.cur.Load().gen }
 
 // Add indexes a matrix and registers it under name, replacing any
 // previous release with that name. Releases added this way are not part
@@ -80,7 +102,7 @@ func (s *Store) Add(name string, m *grid.Matrix) *Release {
 		next[k] = v
 	}
 	next[name] = r
-	s.cur.Store(newReleaseSet(next))
+	s.publishLocked(newReleaseSet(next))
 	return r
 }
 
@@ -168,7 +190,7 @@ func (s *Store) Reload() error {
 		next[sp.Name] = &Release{Name: sp.Name, Matrix: m, Index: grid.NewPrefixSum(m)}
 	}
 	s.mu.Lock()
-	s.cur.Store(newReleaseSet(next))
+	s.publishLocked(newReleaseSet(next))
 	s.mu.Unlock()
 	return nil
 }
