@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// runCompare diffs two -json regression records and returns the process
+// exit code: 0 when new is no worse than old, 1 on an ns regression past
+// maxRegress or on metric drift past metricTol.
+//
+// The ns gate is per experiment: ratio = new.ns / old.ns must stay at or
+// under maxRegress (1.10 = "fail on >10% slower"). maxRegress <= 0
+// disables the timing gate, leaving only the metric check — useful when
+// old.json was recorded on different hardware. Experiments under
+// minGateNs on BOTH sides are reported but never gated: sub-noise-floor
+// runs flap far past any sane threshold on shared machines, and a real
+// regression in one shows up in the experiments above the floor too.
+// Metrics are the headline figures (MRE, MAE, ...) and must match
+// bit-for-bit at metricTol 0; the runtime metrics fig8d reports
+// (seconds_*) are wall-clock measurements, so they are exempt from the
+// drift check like ns is.
+// minGateNs is the ns-gate noise floor: experiments that finish in under
+// 200ms on both sides carry more scheduler jitter than signal.
+const minGateNs = 200_000_000
+
+func runCompare(w io.Writer, oldPath, newPath string, maxRegress, metricTol float64) int {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stpt-bench: %v\n", err)
+		return 1
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stpt-bench: %v\n", err)
+		return 1
+	}
+
+	names := make([]string, 0, len(oldRep.Experiments))
+	for name := range oldRep.Experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Fprintf(w, "FAIL: "+format+"\n", args...)
+	}
+
+	fmt.Fprintf(w, "%-12s %15s %15s %8s\n", "experiment", "old ns", "new ns", "ratio")
+	for _, name := range names {
+		o := oldRep.Experiments[name]
+		n, ok := newRep.Experiments[name]
+		if !ok {
+			fail("%s: missing from %s", name, newPath)
+			continue
+		}
+		ratio := math.Inf(1)
+		if o.Ns > 0 {
+			ratio = float64(n.Ns) / float64(o.Ns)
+		}
+		gated := o.Ns >= minGateNs || n.Ns >= minGateNs
+		note := ""
+		if !gated {
+			note = "  (below noise floor, not gated)"
+		}
+		fmt.Fprintf(w, "%-12s %15d %15d %7.2fx%s\n", name, o.Ns, n.Ns, ratio, note)
+		if maxRegress > 0 && gated && ratio > maxRegress {
+			fail("%s: %.2fx slower than %s (max-regress %.2f)", name, ratio, oldPath, maxRegress)
+		}
+		compareMetrics(name, o.Metrics, n.Metrics, metricTol, fail)
+	}
+	for name := range newRep.Experiments {
+		if _, ok := oldRep.Experiments[name]; !ok {
+			fmt.Fprintf(w, "note: %s only in %s\n", name, newPath)
+		}
+	}
+	if oldRep.TotalNs > 0 {
+		fmt.Fprintf(w, "%-12s %15d %15d %7.2fx\n", "total",
+			oldRep.TotalNs, newRep.TotalNs, float64(newRep.TotalNs)/float64(oldRep.TotalNs))
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintln(w, "PASS")
+	return 0
+}
+
+// compareMetrics checks every old metric still exists and has not drifted.
+// seconds_* metrics are wall-clock and skipped, like ns.
+func compareMetrics(exp string, old, new map[string]float64, tol float64, fail func(string, ...any)) {
+	keys := make([]string, 0, len(old))
+	for k := range old {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if len(k) >= 8 && k[:8] == "seconds_" {
+			continue
+		}
+		ov := old[k]
+		nv, ok := new[k]
+		if !ok {
+			fail("%s: metric %s missing", exp, k)
+			continue
+		}
+		if ov == nv || (math.IsNaN(ov) && math.IsNaN(nv)) {
+			continue
+		}
+		drift := math.Abs(nv - ov)
+		if rel := math.Abs(ov); rel > 0 {
+			drift /= rel
+		}
+		if drift > tol {
+			fail("%s: metric %s drifted %v -> %v (tol %v)", exp, k, ov, nv, tol)
+		}
+	}
+}
+
+func readReport(path string) (*benchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments recorded", path)
+	}
+	return &rep, nil
+}

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/datasets"
@@ -63,8 +65,36 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint file: completed cells are skipped on restart")
 		workers    = flag.Int("workers", 0, "worker pool size for concurrent sweep cells (0 = GOMAXPROCS; 1 = the historical serial order)")
 		jsonOut    = flag.String("json", "", "write a benchmark-regression JSON record (ns + headline metrics per experiment) to this path")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this path")
+		compare    = flag.Bool("compare", false, "compare two -json records (old.json new.json) instead of running a sweep; exits 1 on regression")
+		maxRegress = flag.Float64("max-regress", 1.10, "with -compare: fail when any experiment's ns ratio exceeds this (<= 0 disables the ns gate)")
+		metricTol  = flag.Float64("metric-tol", 0, "with -compare: allowed relative drift per metric (0 = bit-identical)")
 	)
 	flag.Parse()
+
+	// Compare mode: stpt-bench -compare old.json new.json. No sweep runs;
+	// the process exits non-zero on an ns regression or metric drift.
+	if *compare {
+		if flag.NArg() != 2 {
+			fatalf("usage: stpt-bench -compare old.json new.json")
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *metricTol))
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var opts experiments.Options
 	switch *scale {
@@ -293,6 +323,19 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "stpt-bench: wrote regression record to %s\n", *jsonOut)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "stpt-bench: wrote heap profile to %s\n", *memProfile)
 	}
 }
 

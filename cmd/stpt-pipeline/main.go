@@ -43,6 +43,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/ingest"
 	"repro/internal/pipeline"
+	"repro/internal/profiling"
 	"repro/internal/resilience"
 )
 
@@ -69,6 +70,7 @@ func main() {
 		batch       = flag.Int("batch", 256, "readings per WAL append+fsync")
 		retries     = flag.Int("stage-retries", 3, "attempts per pipeline stage on transient failures")
 		maxElapsed  = flag.Duration("stage-max-elapsed", 30*time.Second, "total wall-clock cap across one stage's retries")
+		pprofAddr   = flag.String("pprof-addr", "", "listen address for the net/http/pprof debug surface (empty = disabled); keep it on a loopback or otherwise private interface")
 	)
 	flag.Parse()
 	switch {
@@ -86,6 +88,11 @@ func main() {
 		fatalf("missing -eps-node (per-node privacy budget)")
 	case *inPath == "" && *listen == "":
 		fatalf("nothing to do: give -in for one-shot mode or -listen for the daemon")
+	}
+	if a, err := profiling.Serve(*pprofAddr); err != nil {
+		fatalf("%v", err)
+	} else if a != "" {
+		fmt.Fprintf(os.Stderr, "stpt-pipeline: pprof surface on http://%s/debug/pprof/\n", a)
 	}
 	manifestPath := *manifestF
 	if manifestPath == "" {

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/resilience"
 	"repro/internal/serve"
 )
@@ -46,6 +47,7 @@ func main() {
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		chaos      = flag.String("chaos", "", "fault-injection spec for robustness testing, e.g. slow=50ms,panic=100 (see internal/serve.ChaosInjector)")
 		reloadTok  = flag.String("reload-token", "", "bearer token enabling authenticated POST /-/reload (empty = endpoint disabled; SIGHUP reload always works)")
+		pprofAddr  = flag.String("pprof-addr", "", "listen address for the net/http/pprof debug surface (empty = disabled); keep it on a loopback or otherwise private interface")
 	)
 	flag.Func("load", "release to serve as name=path (repeatable); path is a stpt-run cell CSV or a stpt-datagen household CSV", func(v string) error {
 		loads = append(loads, v)
@@ -54,6 +56,11 @@ func main() {
 	flag.Parse()
 	if len(loads) == 0 {
 		fatalf("no releases: pass at least one -load name=path")
+	}
+	if a, err := profiling.Serve(*pprofAddr); err != nil {
+		fatalf("%v", err)
+	} else if a != "" {
+		fmt.Fprintf(os.Stderr, "stpt-serve: pprof surface on http://%s/debug/pprof/\n", a)
 	}
 
 	specs := make([]serve.LoadSpec, 0, len(loads))

@@ -1,0 +1,102 @@
+package grid
+
+import "fmt"
+
+// TileIndex layers a coarse, cache-resident summed-volume table over a
+// PrefixSum. The coarse table holds the fine table's values at every
+// tile-aligned coordinate (multiples of the tile edge on all three axes),
+// subsampled — never recomputed — so the two tables agree bit-for-bit
+// wherever they overlap. A query whose six corner coordinates
+// (x0, x1+1, y0, y1+1, t0, t1+1) are all tile-aligned is answered from the
+// coarse table's eight corners using the exact inclusion–exclusion
+// expression of PrefixSum.RangeSum; any other query falls through to the
+// fine table. Either way the returned float64 is bit-identical to
+// PrefixSum.RangeSum on the same query.
+//
+// The win is locality, not asymptotics: both paths are O(1), but the
+// coarse table for a DefaultTile-tiled grid is tile³ (512×) smaller than
+// the fine one, so aligned block lookups — the shape the serving daemon's
+// aggregate endpoints and the evaluation sweeps issue in bulk — stay in
+// cache instead of striding across the full summed-volume table.
+type TileIndex struct {
+	fine *PrefixSum
+	tile int
+	// coarse has ncx x ncy x nct entries, index (t*ncy+y)*ncx+x, where
+	// coarse[x][y][t] == fine.cum at (x*tile, y*tile, t*tile).
+	ncx, ncy, nct int
+	coarse        []float64
+}
+
+// DefaultTile is the tile edge used by NewTileIndex. 8 keeps the coarse
+// table 512× smaller than the fine one while still catching the
+// block-aligned query shapes the daemon serves.
+const DefaultTile = 8
+
+// NewTileIndex builds the summed-volume table for m and the DefaultTile
+// coarse mirror over it.
+func NewTileIndex(m *Matrix) *TileIndex {
+	return NewTileIndexOver(NewPrefixSum(m), DefaultTile)
+}
+
+// NewTileIndexOver wraps an existing PrefixSum with a coarse mirror of the
+// given tile edge. The fine table is shared, not copied.
+func NewTileIndexOver(p *PrefixSum, tile int) *TileIndex {
+	if tile < 1 {
+		panic(fmt.Sprintf("grid: non-positive tile edge %d", tile))
+	}
+	ti := &TileIndex{
+		fine: p,
+		tile: tile,
+		ncx:  p.cx/tile + 1,
+		ncy:  p.cy/tile + 1,
+		nct:  p.ct/tile + 1,
+	}
+	ti.coarse = make([]float64, ti.ncx*ti.ncy*ti.nct)
+	sx, sy := p.cx+1, p.cy+1
+	for tc := 0; tc < ti.nct; tc++ {
+		for yc := 0; yc < ti.ncy; yc++ {
+			for xc := 0; xc < ti.ncx; xc++ {
+				// Copy, never recompute: bit-identity with the fine table
+				// is the index's core invariant.
+				v := p.cum[((tc*tile)*sy+yc*tile)*sx+xc*tile]
+				ti.coarse[(tc*ti.ncy+yc)*ti.ncx+xc] = v
+			}
+		}
+	}
+	return ti
+}
+
+// Dims returns the dimensions of the indexed matrix.
+func (ti *TileIndex) Dims() (cx, cy, ct int) { return ti.fine.Dims() }
+
+// Tile returns the coarse table's tile edge.
+func (ti *TileIndex) Tile() int { return ti.tile }
+
+// Fine returns the underlying full-resolution summed-volume table.
+func (ti *TileIndex) Fine() *PrefixSum { return ti.fine }
+
+// RangeSum answers the inclusive-bounds query in O(1), from the coarse
+// table when the query is tile-aligned and from the fine table otherwise.
+// The result is bit-identical to ti.Fine().RangeSum(q) in both cases.
+func (ti *TileIndex) RangeSum(q Query) float64 {
+	x0, x1 := q.X0, q.X1+1
+	y0, y1 := q.Y0, q.Y1+1
+	t0, t1 := q.T0, q.T1+1
+	e := ti.tile
+	if x0%e|x1%e|y0%e|y1%e|t0%e|t1%e != 0 {
+		return ti.fine.RangeSum(q)
+	}
+	if !q.ValidIn(ti.fine.cx, ti.fine.cy, ti.fine.ct) {
+		panic(fmt.Sprintf("grid: query %+v outside %dx%dx%d", q, ti.fine.cx, ti.fine.cy, ti.fine.ct))
+	}
+	ncx, ncy := ti.ncx, ti.ncy
+	at := func(x, y, t int) float64 { return ti.coarse[(t*ncy+y)*ncx+x] }
+	x0, x1 = x0/e, x1/e
+	y0, y1 = y0/e, y1/e
+	t0, t1 = t0/e, t1/e
+	// Same corner expression, in the same order, as PrefixSum.RangeSum:
+	// the operands are copies of the fine table's values, so the float
+	// arithmetic — and therefore the result — is identical bit for bit.
+	return at(x1, y1, t1) - at(x0, y1, t1) - at(x1, y0, t1) - at(x1, y1, t0) +
+		at(x0, y0, t1) + at(x0, y1, t0) + at(x1, y0, t0) - at(x0, y0, t0)
+}

@@ -1,0 +1,130 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randFilled(cx, cy, ct int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(cx, cy, ct)
+	d := m.Data()
+	for i := range d {
+		// Mix magnitudes so cancellation differences between computation
+		// orders would actually show up as bit differences.
+		d[i] = rng.NormFloat64() * float64(int64(1)<<(uint(i)%20))
+	}
+	return m
+}
+
+// TestTileIndexBitIdenticalExhaustive compares TileIndex.RangeSum against
+// PrefixSum.RangeSum for EVERY valid query over a small box, for several
+// tile edges including degenerate ones. Equality is exact (==): the tiled
+// index must not change a single bit of any answer.
+func TestTileIndexBitIdenticalExhaustive(t *testing.T) {
+	const cx, cy, ct = 9, 8, 6 // 9 exercises a ragged final tile at edge 4 and 8
+	m := randFilled(cx, cy, ct, 11)
+	p := NewPrefixSum(m)
+	for _, tile := range []int{1, 2, 3, 4, 8, 16} {
+		ti := NewTileIndexOver(p, tile)
+		for x0 := 0; x0 < cx; x0++ {
+			for x1 := x0; x1 < cx; x1++ {
+				for y0 := 0; y0 < cy; y0++ {
+					for y1 := y0; y1 < cy; y1++ {
+						for t0 := 0; t0 < ct; t0++ {
+							for t1 := t0; t1 < ct; t1++ {
+								q := Query{X0: x0, X1: x1, Y0: y0, Y1: y1, T0: t0, T1: t1}
+								if got, want := ti.RangeSum(q), p.RangeSum(q); got != want {
+									t.Fatalf("tile=%d query %+v: tiled %x, fine %x", tile, q, got, want)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTileIndexCoarseMirrorsFine checks the structural invariant directly:
+// every coarse entry is byte-for-byte the fine table's value at the
+// corresponding tile-aligned coordinate.
+func TestTileIndexCoarseMirrorsFine(t *testing.T) {
+	const cx, cy, ct = 16, 12, 24
+	m := randFilled(cx, cy, ct, 23)
+	p := NewPrefixSum(m)
+	ti := NewTileIndexOver(p, 4)
+	sx, sy := cx+1, cy+1
+	for tc := 0; tc < ti.nct; tc++ {
+		for yc := 0; yc < ti.ncy; yc++ {
+			for xc := 0; xc < ti.ncx; xc++ {
+				got := ti.coarse[(tc*ti.ncy+yc)*ti.ncx+xc]
+				want := p.cum[((tc*4)*sy+yc*4)*sx+xc*4]
+				if got != want {
+					t.Fatalf("coarse[%d,%d,%d] = %x, fine = %x", xc, yc, tc, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTileIndexAlignedUsesCoarse pins that aligned queries actually take
+// the coarse path (the perf contract, not just the value contract): a
+// poisoned fine table must not change aligned answers.
+func TestTileIndexAlignedUsesCoarse(t *testing.T) {
+	const cx, cy, ct = 16, 16, 16
+	m := randFilled(cx, cy, ct, 31)
+	ti := NewTileIndex(m) // DefaultTile = 8
+	aligned := Query{X0: 0, X1: 7, Y0: 8, Y1: 15, T0: 0, T1: 15}
+	want := ti.RangeSum(aligned)
+	for i := range ti.fine.cum {
+		ti.fine.cum[i] = -1e300 // poison: any fine lookup now corrupts the sum
+	}
+	if got := ti.RangeSum(aligned); got != want {
+		t.Fatalf("aligned query read the fine table: %g != %g", got, want)
+	}
+}
+
+// TestTileIndexRejectsInvalid mirrors PrefixSum.RangeSum's contract: out
+// of bounds queries panic on both the aligned and unaligned paths.
+func TestTileIndexRejectsInvalid(t *testing.T) {
+	m := randFilled(8, 8, 8, 5)
+	ti := NewTileIndex(m)
+	for name, q := range map[string]Query{
+		"aligned-oob":   {X0: 0, X1: 15, Y0: 0, Y1: 7, T0: 0, T1: 7},
+		"unaligned-oob": {X0: 3, X1: 9, Y0: 0, Y1: 7, T0: 0, T1: 7},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			ti.RangeSum(q)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewTileIndexOver accepted tile 0")
+			}
+		}()
+		NewTileIndexOver(NewPrefixSum(m), 0)
+	}()
+}
+
+// TestTileIndexAccessors covers the trivial read surface.
+func TestTileIndexAccessors(t *testing.T) {
+	m := randFilled(8, 6, 10, 7)
+	p := NewPrefixSum(m)
+	ti := NewTileIndexOver(p, 4)
+	if cx, cy, ct := ti.Dims(); cx != 8 || cy != 6 || ct != 10 {
+		t.Errorf("Dims = %d,%d,%d", cx, cy, ct)
+	}
+	if ti.Tile() != 4 {
+		t.Errorf("Tile = %d", ti.Tile())
+	}
+	if ti.Fine() != p {
+		t.Error("Fine does not return the wrapped table")
+	}
+}

@@ -74,12 +74,19 @@ func (m *Matrix) check(i, j int) {
 	}
 }
 
-// Row returns row i as a slice aliasing the matrix storage.
+// Row returns row i as a slice aliasing the matrix storage. The panic
+// formatting lives in a separate noinline helper so Row itself stays
+// under the inlining budget — it is called per row inside every kernel.
 func (m *Matrix) Row(i int) []float64 {
 	if i < 0 || i >= m.Rows {
-		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.Rows))
+		rowPanic(i, m.Rows)
 	}
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+//go:noinline
+func rowPanic(i, rows int) {
+	panic(fmt.Sprintf("mat: row %d out of range %d", i, rows))
 }
 
 // Clone returns a deep copy.
@@ -188,10 +195,10 @@ func sameShape3(a, b, c *Matrix) {
 	sameShape2(a, c)
 }
 
-const matmulBlock = 64
-
 // Mul stores a*b into m and returns m. m must not alias a or b.
-// The kernel is blocked over k to keep b's rows in cache.
+// The kernel packs b into column panels and computes register tiles (see
+// kernel.go); results are bit-identical to the historical k-blocked kernel
+// because each element still accumulates its k terms in increasing order.
 func (m *Matrix) Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -199,27 +206,11 @@ func (m *Matrix) Mul(a, b *Matrix) *Matrix {
 	if m.Rows != a.Rows || m.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: Mul output shape %dx%d, want %dx%d", m.Rows, m.Cols, a.Rows, b.Cols))
 	}
-	m.Zero()
-	for kb := 0; kb < a.Cols; kb += matmulBlock {
-		kend := kb + matmulBlock
-		if kend > a.Cols {
-			kend = a.Cols
-		}
-		for i := 0; i < a.Rows; i++ {
-			arow := a.Row(i)
-			orow := m.Row(i)
-			for k := kb; k < kend; k++ {
-				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
+	if a.Cols == 0 {
+		m.Zero()
+		return m
 	}
+	mulInto(m.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols)
 	return m
 }
 
@@ -233,16 +224,7 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("mat: MulVec length %d, want %d", len(x), m.Cols))
 	}
-	y := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i] = s
-	}
-	return y
+	return m.MulVecTo(make([]float64, m.Rows), x)
 }
 
 // MulVecTo computes dst = a*x into a caller-provided buffer and returns
@@ -256,8 +238,11 @@ func (m *Matrix) MulVecTo(dst, x []float64) []float64 {
 	if len(dst) != m.Rows {
 		panic(fmt.Sprintf("mat: MulVecTo dst length %d, want %d", len(dst), m.Rows))
 	}
+	// Slicing each row to exactly len(x) lets the compiler drop the x[j]
+	// bounds check; accumulation stays sequential in j, so values are
+	// unchanged.
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
+		row := m.Data[i*m.Cols : i*m.Cols+len(x)]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]

@@ -10,70 +10,158 @@ import (
 // behaviour wins.
 const parallelThreshold = 1 << 18
 
-// MulAuto computes a*b, choosing between the single-threaded blocked
-// kernel and a row-sharded parallel kernel based on problem size. The
-// result is identical to Mul.
+// MulAuto computes a*b, choosing between the single-threaded tiled kernel
+// and a row-sharded parallel kernel based on problem size. The result is
+// identical to Mul.
 func MulAuto(a, b *Matrix) *Matrix {
+	return MulAutoTo(New(a.Rows, b.Cols), a, b)
+}
+
+// MulAutoTo is MulAuto into a caller-provided output, for call sites that
+// reuse scratch. m must not alias a or b.
+func MulAutoTo(m, a, b *Matrix) *Matrix {
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold || runtime.GOMAXPROCS(0) < 2 {
-		return Mul(a, b)
+		return m.Mul(a, b)
 	}
-	return MulParallel(a, b, 0)
+	return mulParallelTo(m, a, b, 0)
+}
+
+// MulAutoBT computes a·bᵀ with the same serial/parallel policy as MulAuto.
+// Bit-identical to MulAuto(a, b.T()).
+func MulAutoBT(a, b *Matrix) *Matrix {
+	return MulAutoBTTo(New(a.Rows, b.Rows), a, b)
+}
+
+// MulAutoBTTo is MulAutoBT into a caller-provided output.
+func MulAutoBTTo(m, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("mat: MulBT inner dimension mismatch")
+	}
+	if m.Rows != a.Rows || m.Cols != b.Rows {
+		panic("mat: MulBT output shape mismatch")
+	}
+	work := a.Rows * a.Cols * b.Rows
+	workers := shardWorkers(work, 0, a.Rows)
+	if workers <= 1 {
+		mulBTRows(m.Data, a.Data, b.Data, a.Cols, b.Rows, 0, a.Rows)
+		return m
+	}
+	forEachRowShard(workers, a.Rows, func(r0, r1 int) {
+		mulBTRows(m.Data, a.Data, b.Data, a.Cols, b.Rows, r0, r1)
+	})
+	return m
+}
+
+// MulAutoAT computes aᵀ·b with the same serial/parallel policy as MulAuto.
+// Bit-identical to MulAuto(a.T(), b).
+func MulAutoAT(a, b *Matrix) *Matrix {
+	return MulAutoATTo(New(a.Cols, b.Cols), a, b)
+}
+
+// MulAutoATTo is MulAutoAT into a caller-provided output.
+func MulAutoATTo(m, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("mat: MulAT inner dimension mismatch")
+	}
+	if m.Rows != a.Cols || m.Cols != b.Cols {
+		panic("mat: MulAT output shape mismatch")
+	}
+	work := a.Cols * a.Rows * b.Cols
+	workers := shardWorkers(work, 0, a.Cols)
+	if workers <= 1 {
+		mulATRows(m.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols, 0, a.Cols)
+		return m
+	}
+	forEachRowShard(workers, a.Cols, func(r0, r1 int) {
+		mulATRows(m.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols, r0, r1)
+	})
+	return m
 }
 
 // MulParallel computes a*b with the row range sharded across workers
 // goroutines (0 = GOMAXPROCS). Shards write disjoint output rows, so no
-// synchronisation is needed beyond the final join.
+// synchronisation is needed beyond the final join. Workers are clamped to
+// the number of microMR-row blocks, so tiny matrices never spawn more
+// goroutines than there are register-tile row blocks; at one worker the
+// serial kernel runs, which reproduces historical results exactly.
 func MulParallel(a, b *Matrix, workers int) *Matrix {
 	if a.Cols != b.Rows {
 		panic("mat: MulParallel inner dimension mismatch")
 	}
+	return mulParallelTo(New(a.Rows, b.Cols), a, b, workers)
+}
+
+func mulParallelTo(m, a, b *Matrix, workers int) *Matrix {
+	if a.Cols != b.Rows {
+		panic("mat: MulParallel inner dimension mismatch")
+	}
+	if m.Rows != a.Rows || m.Cols != b.Cols {
+		panic("mat: MulParallel output shape mismatch")
+	}
+	rowBlocks := (a.Rows + microMR - 1) / microMR
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > a.Rows {
-		workers = a.Rows
+	if workers > rowBlocks {
+		workers = rowBlocks
 	}
 	if workers <= 1 {
-		return Mul(a, b)
+		return m.Mul(a, b)
 	}
-	out := New(a.Rows, b.Cols)
+	// Pack b once; every shard reads the shared panels.
+	bp := borrowFloats(packedLen(a.Cols, b.Cols))
+	packB(*bp, b.Data, a.Cols, b.Cols)
+	blocksPer := (rowBlocks + workers - 1) / workers
+	chunk := blocksPer * microMR // shard boundaries stay tile-aligned
 	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
+	for r0 := 0; r0 < a.Rows; r0 += chunk {
 		r1 := r0 + chunk
 		if r1 > a.Rows {
 			r1 = a.Rows
 		}
-		if r0 >= r1 {
-			break
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			mulPackedRows(m.Data, a.Data, *bp, a.Cols, b.Cols, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+	returnFloats(bp)
+	return m
+}
+
+// shardWorkers returns how many goroutines to use for `work` total
+// flops over `rows` independent output rows: 1 below the parallel
+// threshold or on a single-core box, never more than rows.
+func shardWorkers(work, workers, rows int) int {
+	if work < parallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		return 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	return workers
+}
+
+// forEachRowShard splits [0, rows) into `workers` contiguous chunks and
+// runs fn concurrently on each.
+func forEachRowShard(workers, rows int, fn func(r0, r1 int)) {
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
 		}
 		wg.Add(1)
 		go func(r0, r1 int) {
 			defer wg.Done()
-			for kb := 0; kb < a.Cols; kb += matmulBlock {
-				kend := kb + matmulBlock
-				if kend > a.Cols {
-					kend = a.Cols
-				}
-				for i := r0; i < r1; i++ {
-					arow := a.Row(i)
-					orow := out.Row(i)
-					for k := kb; k < kend; k++ {
-						av := arow[k]
-						if av == 0 {
-							continue
-						}
-						brow := b.Row(k)
-						for j, bv := range brow {
-							orow[j] += av * bv
-						}
-					}
-				}
-			}
+			fn(r0, r1)
 		}(r0, r1)
 	}
 	wg.Wait()
-	return out
 }

@@ -191,18 +191,31 @@ func (m *Matrix) AddOuter(a, b []float64) *Matrix {
 // TMulVec computes y = aᵀ*x for a vector x of length a.Rows, without
 // materialising the transpose.
 func (m *Matrix) TMulVec(x []float64) []float64 {
+	return m.TMulVecTo(make([]float64, m.Cols), x)
+}
+
+// TMulVecTo computes dst = aᵀ*x into a caller-provided buffer and returns
+// dst. dst must not alias x; it is zeroed first, so results match TMulVec
+// bit-for-bit (including the xv == 0 row skip, which keeps sparse backward
+// signals cheap).
+func (m *Matrix) TMulVecTo(dst, x []float64) []float64 {
 	if len(x) != m.Rows {
 		panic("mat: TMulVec length mismatch")
 	}
-	y := make([]float64, m.Cols)
+	if len(dst) != m.Cols {
+		panic("mat: TMulVecTo dst length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, xv := range x {
 		if xv == 0 {
 			continue
 		}
-		row := m.Row(i)
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		for j, v := range row {
-			y[j] += xv * v
+			dst[j] += xv * v
 		}
 	}
-	return y
+	return dst
 }

@@ -1,0 +1,112 @@
+package nn
+
+import "repro/internal/mat"
+
+// arena is a bump allocator for the per-sample forward/backward scratch of
+// one model instance. Forward resets it, Backward keeps allocating from the
+// same pass, so everything handed out — step inputs, cache slabs, gradient
+// temporaries, whole matrices — is valid until the NEXT Forward on the same
+// instance. That matches how every caller in the tree already uses caches
+// (Backward always runs before the next Forward), and it is what turns the
+// BPTT window loop into a zero-steady-state-allocation path: after the
+// first sample has sized the slabs, training touches the garbage collector
+// only for the slices the optimiser warms once.
+//
+// Shadow clones own their own arenas, so data-parallel workers never share
+// scratch. An arena is single-goroutine, like the layers that use it.
+type arena struct {
+	slabs [][]float64
+	cur   int // active slab index
+	off   int // bump offset inside the active slab
+
+	mats []mat.Matrix // pooled matrix headers handed out by matrix()
+	mcur int
+}
+
+// arenaSlab is the minimum slab size in float64s. One training pass of the
+// quick-scale models fits in a couple of slabs.
+const arenaSlab = 1 << 12
+
+// reset rewinds the arena to empty, keeping every slab for reuse. Previously
+// returned slices become invalid (they will be handed out again).
+func (a *arena) reset() {
+	a.cur, a.off, a.mcur = 0, 0, 0
+}
+
+// alloc returns a zeroed slice of n float64s with capacity exactly n (so
+// appends by callers cannot bleed into neighbouring allocations).
+func (a *arena) alloc(n int) []float64 {
+	for {
+		if a.cur < len(a.slabs) {
+			s := a.slabs[a.cur]
+			if a.off+n <= len(s) {
+				out := s[a.off : a.off+n : a.off+n]
+				a.off += n
+				clear(out)
+				return out
+			}
+			// Tail too small; move on. The waste is bounded and the
+			// allocation sequence is identical every pass, so steady state
+			// lands in the same slabs each time.
+			a.cur++
+			a.off = 0
+			continue
+		}
+		sz := arenaSlab
+		if n > sz {
+			sz = n
+		}
+		a.slabs = append(a.slabs, make([]float64, sz))
+	}
+}
+
+// matrix returns a rows x cols matrix backed by arena storage. The header
+// itself comes from a pooled slice so steady-state passes allocate no
+// headers either. Pointers returned earlier in the same pass stay valid
+// even when the header pool grows: entries are fully initialised before
+// being handed out and never moved within a pass.
+func (a *arena) matrix(rows, cols int) *mat.Matrix {
+	if a.mcur == len(a.mats) {
+		a.mats = append(a.mats, mat.Matrix{})
+	}
+	m := &a.mats[a.mcur]
+	a.mcur++
+	m.Rows, m.Cols = rows, cols
+	m.Data = a.alloc(rows * cols)
+	return m
+}
+
+// arenaUser is implemented by layers and cells that can run their scratch
+// on a model-owned arena. setArena attaches the arena; resetScratch rewinds
+// per-pass cache pools and is called at the start of every model Forward.
+type arenaUser interface {
+	setArena(*arena)
+	resetScratch()
+}
+
+// arenaAlloc returns arena storage when ar is set, else a fresh zeroed
+// slice — the historical behaviour for standalone layers.
+func arenaAlloc(ar *arena, n int) []float64 {
+	if ar != nil {
+		return ar.alloc(n)
+	}
+	return make([]float64, n)
+}
+
+// tmulVec computes wᵀ·x into arena storage when available. Values are
+// bit-identical to w.TMulVec either way.
+func tmulVec(ar *arena, w *mat.Matrix, x []float64) []float64 {
+	if ar != nil {
+		return w.TMulVecTo(ar.alloc(w.Cols), x)
+	}
+	return w.TMulVec(x)
+}
+
+// arenaMatrix returns an arena-backed matrix when available, else a fresh
+// heap matrix.
+func arenaMatrix(ar *arena, rows, cols int) *mat.Matrix {
+	if ar != nil {
+		return ar.matrix(rows, cols)
+	}
+	return mat.New(rows, cols)
+}

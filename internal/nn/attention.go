@@ -13,7 +13,13 @@ import (
 type SelfAttention struct {
 	Dim        int
 	Wq, Wk, Wv *Param // Dim x Dim
+
+	ar    *arena // per-pass storage when owned by a model; nil standalone
+	cache attnCache
 }
+
+func (a *SelfAttention) setArena(ar *arena) { a.ar = ar }
+func (a *SelfAttention) resetScratch()      {}
 
 // NewSelfAttention creates a single-head attention layer.
 func NewSelfAttention(name string, dim int, rng *rand.Rand) *SelfAttention {
@@ -40,12 +46,14 @@ func (a *SelfAttention) Forward(x *mat.Matrix) (*mat.Matrix, *attnCache) {
 		panic("nn: attention input dim mismatch")
 	}
 	n := x.Rows
-	q := mat.MulAuto(x, a.Wq.W.T())
-	k := mat.MulAuto(x, a.Wk.W.T())
-	v := mat.MulAuto(x, a.Wv.W.T())
-	scores := mat.MulAuto(q, k.T())
+	// Q = X·Wqᵀ etc. via the transpose-free BT kernel: bit-identical to
+	// MulAuto(x, W.T()) without materialising any transpose.
+	q := mat.MulAutoBTTo(arenaMatrix(a.ar, n, a.Dim), x, a.Wq.W)
+	k := mat.MulAutoBTTo(arenaMatrix(a.ar, n, a.Dim), x, a.Wk.W)
+	v := mat.MulAutoBTTo(arenaMatrix(a.ar, n, a.Dim), x, a.Wv.W)
+	scores := mat.MulAutoBTTo(arenaMatrix(a.ar, n, n), q, k)
 	scale := 1 / math.Sqrt(float64(a.Dim))
-	attn := mat.New(n, n)
+	attn := arenaMatrix(a.ar, n, n)
 	for i := 0; i < n; i++ {
 		row := scores.Row(i)
 		for j := range row {
@@ -53,8 +61,15 @@ func (a *SelfAttention) Forward(x *mat.Matrix) (*mat.Matrix, *attnCache) {
 		}
 		mat.Softmax(attn.Row(i), row)
 	}
-	y := mat.MulAuto(attn, v)
-	return y, &attnCache{x: x, q: q, k: k, v: v, attn: attn}
+	y := mat.MulAutoTo(arenaMatrix(a.ar, n, a.Dim), attn, v)
+	var c *attnCache
+	if a.ar != nil {
+		c = &a.cache
+	} else {
+		c = &attnCache{}
+	}
+	c.x, c.q, c.k, c.v, c.attn = x, q, k, v, attn
+	return y, c
 }
 
 // Backward accumulates parameter gradients given dL/dY and returns dL/dX.
@@ -64,11 +79,11 @@ func (a *SelfAttention) Backward(c *attnCache, dy *mat.Matrix) *mat.Matrix {
 	scale := 1 / math.Sqrt(float64(d))
 
 	// Y = A·V: dA = dY·Vᵀ, dV = Aᵀ·dY.
-	dA := mat.MulAuto(dy, c.v.T())
-	dV := mat.MulAuto(c.attn.T(), dy)
+	dA := mat.MulAutoBTTo(arenaMatrix(a.ar, n, n), dy, c.v)
+	dV := mat.MulAutoATTo(arenaMatrix(a.ar, n, d), c.attn, dy)
 
 	// Softmax backward row-wise: dS_ij = A_ij(dA_ij - Σ_k dA_ik A_ik).
-	dS := mat.New(n, n)
+	dS := arenaMatrix(a.ar, n, n)
 	for i := 0; i < n; i++ {
 		arow := c.attn.Row(i)
 		darow := dA.Row(i)
@@ -83,17 +98,21 @@ func (a *SelfAttention) Backward(c *attnCache, dy *mat.Matrix) *mat.Matrix {
 	}
 
 	// S = Q·Kᵀ (pre-scale): dQ = dS·K, dK = dSᵀ·Q.
-	dQ := mat.MulAuto(dS, c.k)
-	dK := mat.MulAuto(dS.T(), c.q)
+	dQ := mat.MulAutoTo(arenaMatrix(a.ar, n, d), dS, c.k)
+	dK := mat.MulAutoATTo(arenaMatrix(a.ar, n, d), dS, c.q)
 
-	// Q = X·Wqᵀ: dWq = dQᵀ·X, dX += dQ·Wq; same for K, V.
-	a.Wq.G.Add(a.Wq.G, mat.MulAuto(dQ.T(), c.x))
-	a.Wk.G.Add(a.Wk.G, mat.MulAuto(dK.T(), c.x))
-	a.Wv.G.Add(a.Wv.G, mat.MulAuto(dV.T(), c.x))
+	// Q = X·Wqᵀ: dWq = dQᵀ·X, dX += dQ·Wq; same for K, V. The gradient
+	// additions stay two-step (compute product, then Add) so the sums are
+	// bit-identical to the historical code.
+	dW := arenaMatrix(a.ar, d, d)
+	a.Wq.G.Add(a.Wq.G, mat.MulAutoATTo(dW, dQ, c.x))
+	a.Wk.G.Add(a.Wk.G, mat.MulAutoATTo(dW, dK, c.x))
+	a.Wv.G.Add(a.Wv.G, mat.MulAutoATTo(dW, dV, c.x))
 
-	dx := mat.MulAuto(dQ, a.Wq.W)
-	dx.Add(dx, mat.MulAuto(dK, a.Wk.W))
-	dx.Add(dx, mat.MulAuto(dV, a.Wv.W))
+	dx := mat.MulAutoTo(arenaMatrix(a.ar, n, d), dQ, a.Wq.W)
+	t := arenaMatrix(a.ar, n, d)
+	dx.Add(dx, mat.MulAutoTo(t, dK, a.Wk.W))
+	dx.Add(dx, mat.MulAutoTo(t, dV, a.Wv.W))
 	return dx
 }
 
@@ -103,7 +122,14 @@ type LayerNorm struct {
 	Dim   int
 	Gamma *Param // 1 x Dim
 	Beta  *Param // 1 x Dim
+
+	ar    *arena // per-pass storage when owned by a model; nil standalone
+	cache lnCache
+	dxh   []float64 // per-row backward scratch, dead after each row
 }
+
+func (l *LayerNorm) setArena(ar *arena) { l.ar = ar }
+func (l *LayerNorm) resetScratch()      {}
 
 // NewLayerNorm creates a layer-norm with gamma=1, beta=0.
 func NewLayerNorm(name string, dim int) *LayerNorm {
@@ -128,8 +154,15 @@ func (l *LayerNorm) Forward(x *mat.Matrix) (*mat.Matrix, *lnCache) {
 		panic("nn: layernorm dim mismatch")
 	}
 	n := x.Rows
-	y := mat.New(n, l.Dim)
-	c := &lnCache{xhat: mat.New(n, l.Dim), invStd: make([]float64, n)}
+	y := arenaMatrix(l.ar, n, l.Dim)
+	var c *lnCache
+	if l.ar != nil {
+		c = &l.cache
+	} else {
+		c = &lnCache{}
+	}
+	c.xhat = arenaMatrix(l.ar, n, l.Dim)
+	c.invStd = arenaAlloc(l.ar, n)
 	for i := 0; i < n; i++ {
 		row := x.Row(i)
 		mean := mat.Mean(row)
@@ -150,7 +183,10 @@ func (l *LayerNorm) Forward(x *mat.Matrix) (*mat.Matrix, *lnCache) {
 func (l *LayerNorm) Backward(c *lnCache, dy *mat.Matrix) *mat.Matrix {
 	n := dy.Rows
 	d := float64(l.Dim)
-	dx := mat.New(n, l.Dim)
+	dx := arenaMatrix(l.ar, n, l.Dim)
+	if l.dxh == nil {
+		l.dxh = make([]float64, l.Dim)
+	}
 	for i := 0; i < n; i++ {
 		dyr := dy.Row(i)
 		xh := c.xhat.Row(i)
@@ -159,8 +195,8 @@ func (l *LayerNorm) Backward(c *lnCache, dy *mat.Matrix) *mat.Matrix {
 			l.Gamma.G.Data[j] += dyr[j] * xh[j]
 			l.Beta.G.Data[j] += dyr[j]
 		}
-		// dxhat = dy * gamma.
-		dxh := make([]float64, l.Dim)
+		// dxhat = dy * gamma, in per-layer scratch (dead after this row).
+		dxh := l.dxh
 		var sumDxh, sumDxhXh float64
 		for j := range dyr {
 			dxh[j] = dyr[j] * l.Gamma.W.Data[j]

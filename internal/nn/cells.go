@@ -37,7 +37,14 @@ type RNNCell struct {
 	in, hidden int
 	Wx, Wh, B  *Param
 	pre, tmp   []float64 // pre-activation scratch, dead after each Step
+
+	ar     *arena // per-pass storage when owned by a model; nil standalone
+	caches []rnnCache
+	ci     int
 }
+
+func (c *RNNCell) setArena(a *arena) { c.ar = a }
+func (c *RNNCell) resetScratch()     { c.ci = 0 }
 
 // NewRNNCell creates an Elman cell with Glorot weights and a near-identity
 // recurrent matrix scale.
@@ -73,9 +80,20 @@ func (c *RNNCell) Step(x, state []float64) ([]float64, any) {
 	c.Wh.W.MulVecTo(c.tmp, state)
 	mat.AddVec(c.pre, c.pre, c.tmp)
 	mat.AddVec(c.pre, c.pre, c.B.W.Data)
-	h := make([]float64, c.hidden)
+	h := arenaAlloc(c.ar, c.hidden)
 	tanhVec(h, c.pre)
-	return h, &rnnCache{x: x, hPrev: state, hNew: h}
+	var cc *rnnCache
+	if c.ar != nil {
+		if c.ci == len(c.caches) {
+			c.caches = append(c.caches, rnnCache{})
+		}
+		cc = &c.caches[c.ci]
+		c.ci++
+	} else {
+		cc = &rnnCache{}
+	}
+	cc.x, cc.hPrev, cc.hNew = x, state, h
+	return h, cc
 }
 
 // shadow returns a clone sharing weights with c but owning fresh gradient
@@ -87,14 +105,14 @@ func (c *RNNCell) shadow() RecurrentCell {
 // StepBackward backpropagates one timestep.
 func (c *RNNCell) StepBackward(cache any, dh []float64) (dx, dhPrev []float64) {
 	cc := cache.(*rnnCache)
-	da := make([]float64, c.hidden)
+	da := arenaAlloc(c.ar, c.hidden)
 	for i := range da {
 		da[i] = dh[i] * dTanhFromOutput(cc.hNew[i])
 	}
 	c.Wx.G.AddOuter(da, cc.x)
 	c.Wh.G.AddOuter(da, cc.hPrev)
 	mat.AxpyVec(c.B.G.Data, 1, da)
-	return c.Wx.W.TMulVec(da), c.Wh.W.TMulVec(da)
+	return tmulVec(c.ar, c.Wx.W, da), tmulVec(c.ar, c.Wh.W, da)
 }
 
 // ---------------------------------------------------------------------------
@@ -107,7 +125,14 @@ type GRUCell struct {
 	Wz, Uz, Bz, Wr, Ur, Br *Param
 	Wc, Uc, Bc             *Param
 	pre, tmp               []float64 // pre-activation scratch, dead after each Step
+
+	ar     *arena // per-pass storage when owned by a model; nil standalone
+	caches []gruCache
+	ci     int
 }
+
+func (c *GRUCell) setArena(a *arena) { c.ar = a }
+func (c *GRUCell) resetScratch()     { c.ci = 0 }
 
 // NewGRUCell creates a GRU cell with Glorot weights.
 func NewGRUCell(name string, in, hidden int, rng *rand.Rand) *GRUCell {
@@ -146,7 +171,7 @@ func (c *GRUCell) Step(x, state []float64) ([]float64, any) {
 	// The per-step vectors z, r, rh, cand, hNew outlive this call via the
 	// cache (BPTT keeps every timestep), so they come from one slab; only
 	// the gate pre-activations are reusable scratch.
-	slab := make([]float64, 5*n)
+	slab := arenaAlloc(c.ar, 5*n)
 	z, r, rh, cand, hNew := slab[0:n:n], slab[n:2*n:2*n], slab[2*n:3*n:3*n], slab[3*n:4*n:4*n], slab[4*n:]
 
 	c.Wz.W.MulVecTo(c.pre, x)
@@ -171,7 +196,18 @@ func (c *GRUCell) Step(x, state []float64) ([]float64, any) {
 	for i := range hNew {
 		hNew[i] = (1-z[i])*h[i] + z[i]*cand[i]
 	}
-	return hNew, &gruCache{x: x, hPrev: h, z: z, r: r, cand: cand, rh: rh}
+	var cc *gruCache
+	if c.ar != nil {
+		if c.ci == len(c.caches) {
+			c.caches = append(c.caches, gruCache{})
+		}
+		cc = &c.caches[c.ci]
+		c.ci++
+	} else {
+		cc = &gruCache{}
+	}
+	cc.x, cc.hPrev, cc.z, cc.r, cc.cand, cc.rh = x, h, z, r, cand, rh
+	return hNew, cc
 }
 
 // shadow returns a clone sharing weights with c but owning fresh gradient
@@ -188,31 +224,31 @@ func (c *GRUCell) shadow() RecurrentCell {
 func (c *GRUCell) StepBackward(cache any, dh []float64) (dx, dhPrev []float64) {
 	cc := cache.(*gruCache)
 	n := c.hidden
-	dz := make([]float64, n)
-	dcand := make([]float64, n)
-	dhp := make([]float64, n)
+	dz := arenaAlloc(c.ar, n)
+	dcand := arenaAlloc(c.ar, n)
+	dhp := arenaAlloc(c.ar, n)
 	for i := 0; i < n; i++ {
 		dz[i] = dh[i] * (cc.cand[i] - cc.hPrev[i])
 		dcand[i] = dh[i] * cc.z[i]
 		dhp[i] = dh[i] * (1 - cc.z[i])
 	}
 	// Through candidate tanh.
-	dcPre := make([]float64, n)
+	dcPre := arenaAlloc(c.ar, n)
 	for i := range dcPre {
 		dcPre[i] = dcand[i] * dTanhFromOutput(cc.cand[i])
 	}
 	c.Wc.G.AddOuter(dcPre, cc.x)
 	c.Uc.G.AddOuter(dcPre, cc.rh)
 	mat.AxpyVec(c.Bc.G.Data, 1, dcPre)
-	drh := c.Uc.W.TMulVec(dcPre)
-	dr := make([]float64, n)
+	drh := tmulVec(c.ar, c.Uc.W, dcPre)
+	dr := arenaAlloc(c.ar, n)
 	for i := 0; i < n; i++ {
 		dr[i] = drh[i] * cc.hPrev[i]
 		dhp[i] += drh[i] * cc.r[i]
 	}
 	// Through gates.
-	dzPre := make([]float64, n)
-	drPre := make([]float64, n)
+	dzPre := arenaAlloc(c.ar, n)
+	drPre := arenaAlloc(c.ar, n)
 	for i := 0; i < n; i++ {
 		dzPre[i] = dz[i] * dSigmoidFromOutput(cc.z[i])
 		drPre[i] = dr[i] * dSigmoidFromOutput(cc.r[i])
@@ -224,12 +260,12 @@ func (c *GRUCell) StepBackward(cache any, dh []float64) (dx, dhPrev []float64) {
 	c.Ur.G.AddOuter(drPre, cc.hPrev)
 	mat.AxpyVec(c.Br.G.Data, 1, drPre)
 
-	mat.AxpyVec(dhp, 1, c.Uz.W.TMulVec(dzPre))
-	mat.AxpyVec(dhp, 1, c.Ur.W.TMulVec(drPre))
+	mat.AxpyVec(dhp, 1, tmulVec(c.ar, c.Uz.W, dzPre))
+	mat.AxpyVec(dhp, 1, tmulVec(c.ar, c.Ur.W, drPre))
 
-	dx = c.Wz.W.TMulVec(dzPre)
-	mat.AxpyVec(dx, 1, c.Wr.W.TMulVec(drPre))
-	mat.AxpyVec(dx, 1, c.Wc.W.TMulVec(dcPre))
+	dx = tmulVec(c.ar, c.Wz.W, dzPre)
+	mat.AxpyVec(dx, 1, tmulVec(c.ar, c.Wr.W, drPre))
+	mat.AxpyVec(dx, 1, tmulVec(c.ar, c.Wc.W, dcPre))
 	return dx, dhp
 }
 
@@ -245,7 +281,14 @@ type LSTMCell struct {
 	Wo, Uo, Bo *Param
 	Wg, Ug, Bg *Param
 	pre, tmp   []float64 // pre-activation scratch, dead after each Step
+
+	ar     *arena // per-pass storage when owned by a model; nil standalone
+	caches []lstmCache
+	ci     int
 }
+
+func (c *LSTMCell) setArena(a *arena) { c.ar = a }
+func (c *LSTMCell) resetScratch()     { c.ci = 0 }
 
 // NewLSTMCell creates an LSTM cell with Glorot weights and forget bias 1.
 func NewLSTMCell(name string, in, hidden int, rng *rand.Rand) *LSTMCell {
@@ -289,7 +332,7 @@ func (c *LSTMCell) Step(x, state []float64) ([]float64, any) {
 	}
 	// Gate activations and derived vectors are kept by the cache for BPTT:
 	// one slab for all six, plus the returned state.
-	slab := make([]float64, 6*n)
+	slab := arenaAlloc(c.ar, 6*n)
 	i, f, o := slab[0:n:n], slab[n:2*n:2*n], slab[2*n:3*n:3*n]
 	g, cNew, tanhC := slab[3*n:4*n:4*n], slab[4*n:5*n:5*n], slab[5*n:]
 	gate := func(W, U, B *Param, act func(dst, x []float64), out []float64) {
@@ -303,14 +346,26 @@ func (c *LSTMCell) Step(x, state []float64) ([]float64, any) {
 	gate(c.Wf, c.Uf, c.Bf, sigmoidVec, f)
 	gate(c.Wo, c.Uo, c.Bo, sigmoidVec, o)
 	gate(c.Wg, c.Ug, c.Bg, tanhVec, g)
-	newState := make([]float64, 2*n)
+	newState := arenaAlloc(c.ar, 2*n)
 	for k := 0; k < n; k++ {
 		cNew[k] = f[k]*cPrev[k] + i[k]*g[k]
 		tanhC[k] = math.Tanh(cNew[k])
 		newState[k] = o[k] * tanhC[k]
 		newState[n+k] = cNew[k]
 	}
-	return newState, &lstmCache{x: x, hPrev: h, cPrev: cPrev, i: i, f: f, o: o, g: g, cNew: cNew, tanhC: tanhC}
+	var cc *lstmCache
+	if c.ar != nil {
+		if c.ci == len(c.caches) {
+			c.caches = append(c.caches, lstmCache{})
+		}
+		cc = &c.caches[c.ci]
+		c.ci++
+	} else {
+		cc = &lstmCache{}
+	}
+	cc.x, cc.hPrev, cc.cPrev = x, h, cPrev
+	cc.i, cc.f, cc.o, cc.g, cc.cNew, cc.tanhC = i, f, o, g, cNew, tanhC
+	return newState, cc
 }
 
 // shadow returns a clone sharing weights with c but owning fresh gradient
@@ -330,16 +385,16 @@ func (c *LSTMCell) StepBackward(cache any, dState []float64) (dx, dPrevState []f
 	n := c.hidden
 	dh := dState[:n]
 	dcIn := dState[n:]
-	dc := make([]float64, n)
-	do := make([]float64, n)
+	dc := arenaAlloc(c.ar, n)
+	do := arenaAlloc(c.ar, n)
 	for k := 0; k < n; k++ {
 		do[k] = dh[k] * cc.tanhC[k]
 		dc[k] = dcIn[k] + dh[k]*cc.o[k]*dTanhFromOutput(cc.tanhC[k])
 	}
-	di := make([]float64, n)
-	df := make([]float64, n)
-	dg := make([]float64, n)
-	dcPrev := make([]float64, n)
+	di := arenaAlloc(c.ar, n)
+	df := arenaAlloc(c.ar, n)
+	dg := arenaAlloc(c.ar, n)
+	dcPrev := arenaAlloc(c.ar, n)
 	for k := 0; k < n; k++ {
 		di[k] = dc[k] * cc.g[k]
 		df[k] = dc[k] * cc.cPrev[k]
@@ -347,10 +402,10 @@ func (c *LSTMCell) StepBackward(cache any, dState []float64) (dx, dPrevState []f
 		dcPrev[k] = dc[k] * cc.f[k]
 	}
 	// Pre-activation gradients.
-	diPre := make([]float64, n)
-	dfPre := make([]float64, n)
-	doPre := make([]float64, n)
-	dgPre := make([]float64, n)
+	diPre := arenaAlloc(c.ar, n)
+	dfPre := arenaAlloc(c.ar, n)
+	doPre := arenaAlloc(c.ar, n)
+	dgPre := arenaAlloc(c.ar, n)
 	for k := 0; k < n; k++ {
 		diPre[k] = di[k] * dSigmoidFromOutput(cc.i[k])
 		dfPre[k] = df[k] * dSigmoidFromOutput(cc.f[k])
@@ -367,17 +422,17 @@ func (c *LSTMCell) StepBackward(cache any, dState []float64) (dx, dPrevState []f
 	acc(c.Wo, c.Uo, c.Bo, doPre)
 	acc(c.Wg, c.Ug, c.Bg, dgPre)
 
-	dx = c.Wi.W.TMulVec(diPre)
-	mat.AxpyVec(dx, 1, c.Wf.W.TMulVec(dfPre))
-	mat.AxpyVec(dx, 1, c.Wo.W.TMulVec(doPre))
-	mat.AxpyVec(dx, 1, c.Wg.W.TMulVec(dgPre))
+	dx = tmulVec(c.ar, c.Wi.W, diPre)
+	mat.AxpyVec(dx, 1, tmulVec(c.ar, c.Wf.W, dfPre))
+	mat.AxpyVec(dx, 1, tmulVec(c.ar, c.Wo.W, doPre))
+	mat.AxpyVec(dx, 1, tmulVec(c.ar, c.Wg.W, dgPre))
 
-	dhPrev := c.Ui.W.TMulVec(diPre)
-	mat.AxpyVec(dhPrev, 1, c.Uf.W.TMulVec(dfPre))
-	mat.AxpyVec(dhPrev, 1, c.Uo.W.TMulVec(doPre))
-	mat.AxpyVec(dhPrev, 1, c.Ug.W.TMulVec(dgPre))
+	dhPrev := tmulVec(c.ar, c.Ui.W, diPre)
+	mat.AxpyVec(dhPrev, 1, tmulVec(c.ar, c.Uf.W, dfPre))
+	mat.AxpyVec(dhPrev, 1, tmulVec(c.ar, c.Uo.W, doPre))
+	mat.AxpyVec(dhPrev, 1, tmulVec(c.ar, c.Ug.W, dgPre))
 
-	dPrevState = make([]float64, 2*n)
+	dPrevState = arenaAlloc(c.ar, 2*n)
 	copy(dPrevState[:n], dhPrev)
 	copy(dPrevState[n:], dcPrev)
 	return dx, dPrevState

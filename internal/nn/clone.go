@@ -44,7 +44,7 @@ func (m *RecurrentModel) ShadowClone() Model {
 	if !ok {
 		return nil
 	}
-	return &RecurrentModel{
+	c := &RecurrentModel{
 		name:  m.name,
 		ws:    m.ws,
 		ctx:   m.ctx,
@@ -52,11 +52,13 @@ func (m *RecurrentModel) ShadowClone() Model {
 		cell:  cs.shadow(),
 		head:  m.head.shadow(),
 	}
+	c.wire(c.embed, c.cell, c.head)
+	return c
 }
 
 // ShadowClone returns a worker-private clone.
 func (m *AttentiveGRUModel) ShadowClone() Model {
-	return &AttentiveGRUModel{
+	c := &AttentiveGRUModel{
 		name:  m.name,
 		ws:    m.ws,
 		ctx:   m.ctx,
@@ -65,12 +67,14 @@ func (m *AttentiveGRUModel) ShadowClone() Model {
 		cell:  m.cell.shadow().(*GRUCell),
 		head:  m.head.shadow(),
 	}
+	c.wire(c.embed, c.attn, c.cell, c.head)
+	return c
 }
 
 // ShadowClone returns a worker-private clone. The fixed positional
 // encoding matrix is shared: it is never written after construction.
 func (m *TransformerModel) ShadowClone() Model {
-	return &TransformerModel{
+	c := &TransformerModel{
 		name:  m.name,
 		ws:    m.ws,
 		ctx:   m.ctx,
@@ -83,4 +87,6 @@ func (m *TransformerModel) ShadowClone() Model {
 		ln2:   m.ln2.shadow(),
 		head:  m.head.shadow(),
 	}
+	c.wire(c.embed, c.attn, c.ln1, c.ffn1, c.ffn2, c.ln2, c.head)
+	return c
 }

@@ -19,6 +19,30 @@ type Dense struct {
 
 	z  []float64 // pre-activation scratch, reused across Forward calls
 	dz []float64 // pre-activation gradient scratch for Backward
+
+	// ar, when set by an owning model, supplies per-pass storage for
+	// outputs and caches; nil keeps the historical allocate-per-call path
+	// for standalone layers. caches/ci pool the denseCache structs per
+	// pass (a model may call Forward once per timestep).
+	ar     *arena
+	caches []denseCache
+	ci     int
+}
+
+func (d *Dense) setArena(a *arena) { d.ar = a }
+func (d *Dense) resetScratch()     { d.ci = 0 }
+
+// nextCache returns a pooled cache struct (arena mode) or a fresh one.
+func (d *Dense) nextCache() *denseCache {
+	if d.ar == nil {
+		return &denseCache{}
+	}
+	if d.ci == len(d.caches) {
+		d.caches = append(d.caches, denseCache{})
+	}
+	c := &d.caches[d.ci]
+	d.ci++
+	return c
 }
 
 // Activation selects the elementwise non-linearity of a Dense layer.
@@ -71,14 +95,23 @@ func (d *Dense) Forward(x []float64) ([]float64, *denseCache) {
 	// their derivative from y alone, so z can live in reusable scratch.
 	var z, y []float64
 	if d.Act == ReLU {
-		slab := make([]float64, 2*d.Out)
+		var slab []float64
+		if d.ar != nil {
+			slab = d.ar.alloc(2 * d.Out)
+		} else {
+			slab = make([]float64, 2*d.Out)
+		}
 		z, y = slab[:d.Out], slab[d.Out:]
 	} else {
 		if d.z == nil {
 			d.z = make([]float64, d.Out)
 		}
 		z = d.z
-		y = make([]float64, d.Out)
+		if d.ar != nil {
+			y = d.ar.alloc(d.Out)
+		} else {
+			y = make([]float64, d.Out)
+		}
 	}
 	d.W.W.MulVecTo(z, x)
 	mat.AddVec(z, z, d.B.W.Data)
@@ -94,7 +127,8 @@ func (d *Dense) Forward(x []float64) ([]float64, *denseCache) {
 			y[i] = relu(v)
 		}
 	}
-	c := &denseCache{x: x, y: y}
+	c := d.nextCache()
+	c.x, c.y, c.z = x, y, nil
 	if d.Act == ReLU {
 		c.z = z
 	}
@@ -132,5 +166,8 @@ func (d *Dense) Backward(c *denseCache, dy []float64) []float64 {
 	}
 	d.W.G.AddOuter(dz, c.x)
 	mat.AxpyVec(d.B.G.Data, 1, dz)
+	if d.ar != nil {
+		return d.W.W.TMulVecTo(d.ar.alloc(d.In), dz)
+	}
 	return d.W.W.TMulVec(dz)
 }

@@ -28,9 +28,9 @@ func Predict(m Model, window, ctx []float64) float64 {
 	return p
 }
 
-// checkInputs validates window/ctx shapes and returns a zero ctx when the
-// model expects none.
-func checkInputs(m Model, window, ctx []float64) []float64 {
+// checkInputs validates window/ctx shapes and returns a zero ctx (from the
+// pass arena) when the model expects one but none was given.
+func checkInputs(m Model, ar *arena, window, ctx []float64) []float64 {
 	if len(window) != m.WindowSize() {
 		panic(fmt.Sprintf("nn: window length %d, want %d", len(window), m.WindowSize()))
 	}
@@ -38,7 +38,7 @@ func checkInputs(m Model, window, ctx []float64) []float64 {
 		return nil
 	}
 	if ctx == nil {
-		return make([]float64, m.CtxSize())
+		return arenaAlloc(ar, m.CtxSize())
 	}
 	if len(ctx) != m.CtxSize() {
 		panic(fmt.Sprintf("nn: ctx length %d, want %d", len(ctx), m.CtxSize()))
@@ -46,12 +46,45 @@ func checkInputs(m Model, window, ctx []float64) []float64 {
 	return ctx
 }
 
-// stepInput builds the per-timestep input vector [value, ctx...].
-func stepInput(v float64, ctx []float64) []float64 {
-	in := make([]float64, 1+len(ctx))
+// stepInput builds the per-timestep input vector [value, ctx...] in arena
+// storage (each timestep's input is kept alive by the layer caches, so it
+// must live for the whole pass).
+func stepInput(ar *arena, v float64, ctx []float64) []float64 {
+	in := arenaAlloc(ar, 1+len(ctx))
 	in[0] = v
 	copy(in[1:], ctx)
 	return in
+}
+
+// modelArena bundles the pass-scoped allocator shared by a model and its
+// layers. Every model embeds one; ShadowClone gives each clone its own, so
+// worker goroutines never share scratch.
+type modelArena struct {
+	ar    *arena
+	users []arenaUser
+	dPred [1]float64 // head-gradient scratch, avoids a []float64{dPred} per Backward
+}
+
+// wire attaches a fresh arena to every layer that supports one.
+func (m *modelArena) wire(layers ...any) {
+	m.ar = &arena{}
+	m.users = nil
+	for _, l := range layers {
+		if u, ok := l.(arenaUser); ok {
+			u.setArena(m.ar)
+			m.users = append(m.users, u)
+		}
+	}
+}
+
+// beginPass rewinds the arena and every layer's per-pass cache pool. Called
+// at the top of each Forward; scratch handed out during the previous
+// forward/backward pass becomes invalid here.
+func (m *modelArena) beginPass() {
+	m.ar.reset()
+	for _, u := range m.users {
+		u.resetScratch()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -65,6 +98,9 @@ type RecurrentModel struct {
 	embed *Dense
 	cell  RecurrentCell
 	head  *Dense
+
+	modelArena
+	cache recurrentCache
 }
 
 // NewRecurrentModel builds embed(1+ctxDim→embedDim, tanh) → cell → head(H→1).
@@ -72,7 +108,7 @@ func NewRecurrentModel(name string, ws, ctxDim, embedDim int, cell RecurrentCell
 	if cell.InputSize() != embedDim {
 		panic(fmt.Sprintf("nn: cell input %d != embed dim %d", cell.InputSize(), embedDim))
 	}
-	return &RecurrentModel{
+	m := &RecurrentModel{
 		name:  name,
 		ws:    ws,
 		ctx:   ctxDim,
@@ -80,6 +116,8 @@ func NewRecurrentModel(name string, ws, ctxDim, embedDim int, cell RecurrentCell
 		cell:  cell,
 		head:  NewDense(name+".head", cell.OutputSize(), 1, Linear, rng),
 	}
+	m.wire(m.embed, m.cell, m.head)
+	return m
 }
 
 // Name returns the model's name.
@@ -104,13 +142,18 @@ type recurrentCache struct {
 	headCache   *denseCache
 }
 
-// Forward runs the window through the recurrent stack.
+// Forward runs the window through the recurrent stack. The returned cache
+// (like all scratch handed out during the pass) is valid until the next
+// Forward on this instance.
 func (m *RecurrentModel) Forward(window, ctx []float64) (float64, any) {
-	ctx = checkInputs(m, window, ctx)
-	c := &recurrentCache{}
-	state := ZeroState(m.cell)
+	m.beginPass()
+	ctx = checkInputs(m, m.ar, window, ctx)
+	c := &m.cache
+	c.embedCaches = c.embedCaches[:0]
+	c.cellCaches = c.cellCaches[:0]
+	state := m.ar.alloc(m.cell.StateSize())
 	for _, v := range window {
-		e, ec := m.embed.Forward(stepInput(v, ctx))
+		e, ec := m.embed.Forward(stepInput(m.ar, v, ctx))
 		c.embedCaches = append(c.embedCaches, ec)
 		var sc any
 		state, sc = m.cell.Step(e, state)
@@ -124,8 +167,9 @@ func (m *RecurrentModel) Forward(window, ctx []float64) (float64, any) {
 // Backward backpropagates through time, accumulating gradients.
 func (m *RecurrentModel) Backward(cache any, dPred float64) {
 	c := cache.(*recurrentCache)
-	dh := m.head.Backward(c.headCache, []float64{dPred})
-	dState := make([]float64, m.cell.StateSize())
+	m.dPred[0] = dPred
+	dh := m.head.Backward(c.headCache, m.dPred[:])
+	dState := m.ar.alloc(m.cell.StateSize())
 	copy(dState[:m.cell.OutputSize()], dh)
 	for t := len(c.cellCaches) - 1; t >= 0; t-- {
 		dx, dPrev := m.cell.StepBackward(c.cellCaches[t], dState)
@@ -148,11 +192,14 @@ type AttentiveGRUModel struct {
 	attn  *SelfAttention
 	cell  *GRUCell
 	head  *Dense
+
+	modelArena
+	cache attentiveCache
 }
 
 // NewAttentiveGRUModel builds the attention+GRU regressor.
 func NewAttentiveGRUModel(name string, ws, ctxDim, embedDim, hidden int, rng *rand.Rand) *AttentiveGRUModel {
-	return &AttentiveGRUModel{
+	m := &AttentiveGRUModel{
 		name:  name,
 		ws:    ws,
 		ctx:   ctxDim,
@@ -161,6 +208,8 @@ func NewAttentiveGRUModel(name string, ws, ctxDim, embedDim, hidden int, rng *ra
 		cell:  NewGRUCell(name+".gru", embedDim, hidden, rng),
 		head:  NewDense(name+".head", hidden, 1, Linear, rng),
 	}
+	m.wire(m.embed, m.attn, m.cell, m.head)
+	return m
 }
 
 // Name returns the model's name.
@@ -187,19 +236,23 @@ type attentiveCache struct {
 	headCache   *denseCache
 }
 
-// Forward runs the window through embed → attention → GRU → head.
+// Forward runs the window through embed → attention → GRU → head. The
+// returned cache is valid until the next Forward on this instance.
 func (m *AttentiveGRUModel) Forward(window, ctx []float64) (float64, any) {
-	ctx = checkInputs(m, window, ctx)
-	c := &attentiveCache{}
-	seq := mat.New(m.ws, m.embed.Out)
+	m.beginPass()
+	ctx = checkInputs(m, m.ar, window, ctx)
+	c := &m.cache
+	c.embedCaches = c.embedCaches[:0]
+	c.cellCaches = c.cellCaches[:0]
+	seq := m.ar.matrix(m.ws, m.embed.Out)
 	for t, v := range window {
-		e, ec := m.embed.Forward(stepInput(v, ctx))
+		e, ec := m.embed.Forward(stepInput(m.ar, v, ctx))
 		c.embedCaches = append(c.embedCaches, ec)
 		copy(seq.Row(t), e)
 	}
 	att, ac := m.attn.Forward(seq)
 	c.attnCache = ac
-	state := ZeroState(m.cell)
+	state := m.ar.alloc(m.cell.StateSize())
 	for t := 0; t < m.ws; t++ {
 		var sc any
 		state, sc = m.cell.Step(att.Row(t), state)
@@ -213,8 +266,9 @@ func (m *AttentiveGRUModel) Forward(window, ctx []float64) (float64, any) {
 // Backward backpropagates through the full stack.
 func (m *AttentiveGRUModel) Backward(cache any, dPred float64) {
 	c := cache.(*attentiveCache)
-	dh := m.head.Backward(c.headCache, []float64{dPred})
-	dAtt := mat.New(m.ws, m.embed.Out)
+	m.dPred[0] = dPred
+	dh := m.head.Backward(c.headCache, m.dPred[:])
+	dAtt := m.ar.matrix(m.ws, m.embed.Out)
 	dState := dh
 	for t := m.ws - 1; t >= 0; t-- {
 		dx, dPrev := m.cell.StepBackward(c.cellCaches[t], dState)
@@ -244,6 +298,9 @@ type TransformerModel struct {
 	ffn2  *Dense
 	ln2   *LayerNorm
 	head  *Dense
+
+	modelArena
+	cache transformerCache
 }
 
 // NewTransformerModel builds a one-block transformer encoder regressor.
@@ -271,6 +328,7 @@ func NewTransformerModel(name string, ws, ctxDim, dim, ffnDim int, rng *rand.Ran
 			}
 		}
 	}
+	m.wire(m.embed, m.attn, m.ln1, m.ffn1, m.ffn2, m.ln2, m.head)
 	return m
 }
 
@@ -304,14 +362,19 @@ type transformerCache struct {
 	headCache   *denseCache
 }
 
-// Forward runs the window through the encoder block.
+// Forward runs the window through the encoder block. The returned cache is
+// valid until the next Forward on this instance.
 func (m *TransformerModel) Forward(window, ctx []float64) (float64, any) {
-	ctx = checkInputs(m, window, ctx)
+	m.beginPass()
+	ctx = checkInputs(m, m.ar, window, ctx)
 	dim := m.embed.Out
-	c := &transformerCache{}
-	seq := mat.New(m.ws, dim)
+	c := &m.cache
+	c.embedCaches = c.embedCaches[:0]
+	c.ffn1Caches = c.ffn1Caches[:0]
+	c.ffn2Caches = c.ffn2Caches[:0]
+	seq := m.ar.matrix(m.ws, dim)
 	for t, v := range window {
-		e, ec := m.embed.Forward(stepInput(v, ctx))
+		e, ec := m.embed.Forward(stepInput(m.ar, v, ctx))
 		c.embedCaches = append(c.embedCaches, ec)
 		row := seq.Row(t)
 		copy(row, e)
@@ -319,10 +382,10 @@ func (m *TransformerModel) Forward(window, ctx []float64) (float64, any) {
 	}
 	att, ac := m.attn.Forward(seq)
 	c.attnCache = ac
-	res1 := mat.New(m.ws, dim).Add(seq, att)
+	res1 := m.ar.matrix(m.ws, dim).Add(seq, att)
 	n1, l1c := m.ln1.Forward(res1)
 	c.ln1Cache = l1c
-	ffnOut := mat.New(m.ws, dim)
+	ffnOut := m.ar.matrix(m.ws, dim)
 	for t := 0; t < m.ws; t++ {
 		h1, c1 := m.ffn1.Forward(n1.Row(t))
 		h2, c2 := m.ffn2.Forward(h1)
@@ -330,11 +393,11 @@ func (m *TransformerModel) Forward(window, ctx []float64) (float64, any) {
 		c.ffn2Caches = append(c.ffn2Caches, c2)
 		copy(ffnOut.Row(t), h2)
 	}
-	res2 := mat.New(m.ws, dim).Add(n1, ffnOut)
+	res2 := m.ar.matrix(m.ws, dim).Add(n1, ffnOut)
 	n2, l2c := m.ln2.Forward(res2)
 	c.ln2Cache = l2c
 	// Mean pool over time.
-	pooled := make([]float64, dim)
+	pooled := m.ar.alloc(dim)
 	for t := 0; t < m.ws; t++ {
 		mat.AxpyVec(pooled, 1/float64(m.ws), n2.Row(t))
 	}
@@ -347,14 +410,16 @@ func (m *TransformerModel) Forward(window, ctx []float64) (float64, any) {
 func (m *TransformerModel) Backward(cache any, dPred float64) {
 	c := cache.(*transformerCache)
 	dim := m.embed.Out
-	dPooled := m.head.Backward(c.headCache, []float64{dPred})
-	dN2 := mat.New(m.ws, dim)
+	m.dPred[0] = dPred
+	dPooled := m.head.Backward(c.headCache, m.dPred[:])
+	dN2 := m.ar.matrix(m.ws, dim)
 	for t := 0; t < m.ws; t++ {
 		mat.ScaleVec(dN2.Row(t), 1/float64(m.ws), dPooled)
 	}
 	dRes2 := m.ln2.Backward(c.ln2Cache, dN2)
 	// res2 = n1 + ffn(n1): gradient flows both ways.
-	dN1 := dRes2.Clone()
+	dN1 := m.ar.matrix(m.ws, dim)
+	dN1.CopyFrom(dRes2)
 	for t := 0; t < m.ws; t++ {
 		dh1 := m.ffn2.Backward(c.ffn2Caches[t], dRes2.Row(t))
 		dn1t := m.ffn1.Backward(c.ffn1Caches[t], dh1)
@@ -362,7 +427,8 @@ func (m *TransformerModel) Backward(cache any, dPred float64) {
 	}
 	dRes1 := m.ln1.Backward(c.ln1Cache, dN1)
 	// res1 = seq + attn(seq).
-	dSeq := dRes1.Clone()
+	dSeq := m.ar.matrix(m.ws, dim)
+	dSeq.CopyFrom(dRes1)
 	dFromAttn := m.attn.Backward(c.attnCache, dRes1)
 	dSeq.Add(dSeq, dFromAttn)
 	for t := m.ws - 1; t >= 0; t-- {

@@ -15,7 +15,20 @@ type MultiHeadAttention struct {
 	Dim, Heads int
 	heads      []*SelfAttention // each over Dim/Heads features
 	Wo         *Param           // Dim x Dim output projection
+
+	ar    *arena // per-pass storage when owned by a model; nil standalone
+	cache mhaCache
 }
+
+// setArena attaches the arena to the block and every head.
+func (m *MultiHeadAttention) setArena(a *arena) {
+	m.ar = a
+	for _, h := range m.heads {
+		h.setArena(a)
+	}
+}
+
+func (m *MultiHeadAttention) resetScratch() {}
 
 // NewMultiHeadAttention creates an H-head attention layer.
 func NewMultiHeadAttention(name string, dim, heads int, rng *rand.Rand) *MultiHeadAttention {
@@ -51,10 +64,17 @@ func (m *MultiHeadAttention) Forward(x *mat.Matrix) (*mat.Matrix, *mhaCache) {
 	}
 	n := x.Rows
 	hd := m.Dim / m.Heads
-	c := &mhaCache{concat: mat.New(n, m.Dim)}
+	var c *mhaCache
+	if m.ar != nil {
+		c = &m.cache
+		c.headCaches = c.headCaches[:0]
+	} else {
+		c = &mhaCache{}
+	}
+	c.concat = arenaMatrix(m.ar, n, m.Dim)
 	for h, head := range m.heads {
 		// Slice the head's feature band.
-		sub := mat.New(n, hd)
+		sub := arenaMatrix(m.ar, n, hd)
 		for i := 0; i < n; i++ {
 			copy(sub.Row(i), x.Row(i)[h*hd:(h+1)*hd])
 		}
@@ -64,7 +84,9 @@ func (m *MultiHeadAttention) Forward(x *mat.Matrix) (*mat.Matrix, *mhaCache) {
 			copy(c.concat.Row(i)[h*hd:(h+1)*hd], out.Row(i))
 		}
 	}
-	y := mat.MulAuto(c.concat, m.Wo.W.T())
+	// Y = concat·Woᵀ via the transpose-free kernel (bit-identical to
+	// MulAuto(concat, Wo.W.T())).
+	y := mat.MulAutoBTTo(arenaMatrix(m.ar, n, m.Dim), c.concat, m.Wo.W)
 	return y, c
 }
 
@@ -72,12 +94,14 @@ func (m *MultiHeadAttention) Forward(x *mat.Matrix) (*mat.Matrix, *mhaCache) {
 func (m *MultiHeadAttention) Backward(c *mhaCache, dy *mat.Matrix) *mat.Matrix {
 	n := dy.Rows
 	hd := m.Dim / m.Heads
-	// Y = concat·Woᵀ: dWo = dYᵀ·concat, dConcat = dY·Wo.
-	m.Wo.G.Add(m.Wo.G, mat.MulAuto(dy.T(), c.concat))
-	dConcat := mat.MulAuto(dy, m.Wo.W)
-	dx := mat.New(n, m.Dim)
+	// Y = concat·Woᵀ: dWo = dYᵀ·concat, dConcat = dY·Wo. The gradient add
+	// stays two-step (compute product, then Add) for bit-identity.
+	dW := arenaMatrix(m.ar, m.Dim, m.Dim)
+	m.Wo.G.Add(m.Wo.G, mat.MulAutoATTo(dW, dy, c.concat))
+	dConcat := mat.MulAutoTo(arenaMatrix(m.ar, n, m.Dim), dy, m.Wo.W)
+	dx := arenaMatrix(m.ar, n, m.Dim)
+	dHead := arenaMatrix(m.ar, n, hd)
 	for h, head := range m.heads {
-		dHead := mat.New(n, hd)
 		for i := 0; i < n; i++ {
 			copy(dHead.Row(i), dConcat.Row(i)[h*hd:(h+1)*hd])
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports whether the race detector is active; the strict
+// zero-allocation pins are skipped under it because the race runtime
+// itself allocates inside instrumented code.
+const raceEnabled = true

@@ -1,0 +1,44 @@
+// Package profiling exposes the net/http/pprof surface behind an opt-in
+// flag for the long-running daemons. Binary-scoped profiles (stpt-bench's
+// -cpuprofile/-memprofile) cover the batch tools; the daemons instead get
+// a live endpoint so an operator can pull a profile from a misbehaving
+// process without restarting it.
+package profiling
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve starts the pprof HTTP surface on addr in a background goroutine
+// and returns the bound address. The handlers live on a private mux — the
+// daemon's public listener never exposes them — and the listener is bound
+// synchronously so a bad addr fails fast at startup instead of surfacing
+// as a mystery later. An empty addr is a no-op returning "".
+func Serve(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("profiling: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// The surface lives for the whole process; when the process exits
+		// the listener dies with it, so Serve's error is only interesting
+		// if someone closed the listener out from under us — fatal either
+		// way, nothing to clean up.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,101 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/grid/gridtest"
+)
+
+func tiledFixture(cx, cy, ct int, seed int64) (*grid.Matrix, *grid.PrefixSum, *grid.TileIndex) {
+	rng := rand.New(rand.NewSource(seed))
+	m := grid.NewMatrix(cx, cy, ct)
+	d := m.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64() * 100
+	}
+	p := grid.NewPrefixSum(m)
+	return m, p, grid.NewTileIndexOver(p, grid.DefaultTile)
+}
+
+// TestAnswerTiledMatchesNaive is the satellite property test: Answer
+// through a TileIndex must agree bit-for-bit — sums AND ok flags — with
+// Answer through the naive PrefixSum, on the shared gridtest edge-case
+// table plus randomized (possibly inverted, possibly out-of-bounds)
+// orthotopes.
+func TestAnswerTiledMatchesNaive(t *testing.T) {
+	const cx, cy, ct = 16, 12, 24
+	_, p, ti := tiledFixture(cx, cy, ct, 17)
+	check := func(name string, q grid.Query) {
+		t.Helper()
+		naiveSum, naiveOK := Answer(p, q)
+		tiledSum, tiledOK := Answer(ti, q)
+		if naiveOK != tiledOK || naiveSum != tiledSum {
+			t.Errorf("%s %+v: tiled (%x, %v) != naive (%x, %v)",
+				name, q, tiledSum, tiledOK, naiveSum, naiveOK)
+		}
+	}
+	for _, c := range gridtest.Cases(cx, cy, ct) {
+		check(c.Name, c.In)
+	}
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 2000; i++ {
+		// Deliberately wild bounds: inverted, negative, past the box.
+		q := grid.Query{
+			X0: rng.Intn(3*cx) - cx, X1: rng.Intn(3*cx) - cx,
+			Y0: rng.Intn(3*cy) - cy, Y1: rng.Intn(3*cy) - cy,
+			T0: rng.Intn(3*ct) - ct, T1: rng.Intn(3*ct) - ct,
+		}
+		check("random", q)
+	}
+	// Tile-aligned blocks: the coarse fast path must agree too.
+	for x := 0; x < cx; x += grid.DefaultTile {
+		q := grid.Query{X0: x, X1: x + grid.DefaultTile - 1, Y0: 0, Y1: cy - 1, T0: 0, T1: ct - 1}
+		check("aligned", q)
+	}
+}
+
+// FuzzAnswerTiled fuzzes arbitrary query bounds through both index types;
+// any divergence in sum bits or ok flag is a bug.
+func FuzzAnswerTiled(f *testing.F) {
+	const cx, cy, ct = 16, 12, 24
+	_, p, ti := tiledFixture(cx, cy, ct, 17)
+	f.Add(0, cx-1, 0, cy-1, 0, ct-1)
+	f.Add(0, 0, 0, 0, 0, 0)
+	f.Add(8, 15, 0, 11, 0, 23)   // x-aligned block
+	f.Add(5, 2, -4, 100, 7, 7)   // inverted + out of bounds
+	f.Add(-10, -2, 0, 3, 2, 900) // empty intersection on x
+	f.Fuzz(func(t *testing.T, x0, x1, y0, y1, t0, t1 int) {
+		q := grid.Query{X0: x0, X1: x1, Y0: y0, Y1: y1, T0: t0, T1: t1}
+		naiveSum, naiveOK := Answer(p, q)
+		tiledSum, tiledOK := Answer(ti, q)
+		if naiveOK != tiledOK || naiveSum != tiledSum {
+			t.Fatalf("%+v: tiled (%x, %v) != naive (%x, %v)",
+				q, tiledSum, tiledOK, naiveSum, naiveOK)
+		}
+	})
+}
+
+// TestAnswerAllocs pins the steady-state allocation count of the serving
+// daemon's per-request hot path: zero, for both index types.
+func TestAnswerAllocs(t *testing.T) {
+	const cx, cy, ct = 16, 12, 24
+	_, p, ti := tiledFixture(cx, cy, ct, 17)
+	queries := GenerateSeeded(5, Random, cx, cy, ct, 64)
+	aligned := grid.Query{X0: 0, X1: grid.DefaultTile - 1, Y0: 0, Y1: cy - 1, T0: 0, T1: ct - 1}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		Answer(ti, queries[i%len(queries)])
+		Answer(ti, aligned)
+		i++
+	}); n > 0 {
+		t.Errorf("tiled Answer allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		Answer(p, queries[i%len(queries)])
+		i++
+	}); n > 0 {
+		t.Errorf("prefix-sum Answer allocates %v per run, want 0", n)
+	}
+}

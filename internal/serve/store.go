@@ -19,13 +19,14 @@ import (
 )
 
 // Release is one published matrix the server answers queries against.
-// The prefix-sum index is built once at load time; after that every
-// query is O(1) and the matrix itself is never written again, so
-// concurrent readers need no locking.
+// The tiled range-sum index is built once at load time; after that every
+// query is O(1) — tile-aligned blocks from the coarse table, everything
+// else from the full summed-volume table — and the matrix itself is never
+// written again, so concurrent readers need no locking.
 type Release struct {
 	Name   string
 	Matrix *grid.Matrix
-	Index  *grid.PrefixSum
+	Index  *grid.TileIndex
 }
 
 // releaseSet is one immutable generation of loaded releases. Readers
@@ -93,7 +94,7 @@ func (s *Store) Generation() uint64 { return s.cur.Load().gen }
 // of the Reload spec set — a later Reload rebuilds from the configured
 // specs only.
 func (s *Store) Add(name string, m *grid.Matrix) *Release {
-	r := &Release{Name: name, Matrix: m, Index: grid.NewPrefixSum(m)}
+	r := &Release{Name: name, Matrix: m, Index: grid.NewTileIndex(m)}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.cur.Load()
@@ -187,7 +188,7 @@ func (s *Store) Reload() error {
 		if err != nil {
 			return err
 		}
-		next[sp.Name] = &Release{Name: sp.Name, Matrix: m, Index: grid.NewPrefixSum(m)}
+		next[sp.Name] = &Release{Name: sp.Name, Matrix: m, Index: grid.NewTileIndex(m)}
 	}
 	s.mu.Lock()
 	s.publishLocked(newReleaseSet(next))
