@@ -16,19 +16,15 @@ import (
 // The ns gate is per experiment: ratio = new.ns / old.ns must stay at or
 // under maxRegress (1.10 = "fail on >10% slower"). maxRegress <= 0
 // disables the timing gate, leaving only the metric check — useful when
-// old.json was recorded on different hardware. Experiments under
-// minGateNs on BOTH sides are reported but never gated: sub-noise-floor
-// runs flap far past any sane threshold on shared machines, and a real
-// regression in one shows up in the experiments above the floor too.
-// Metrics are the headline figures (MRE, MAE, ...) and must match
-// bit-for-bit at metricTol 0; the runtime metrics fig8d reports
-// (seconds_*) are wall-clock measurements, so they are exempt from the
-// drift check like ns is.
-// minGateNs is the ns-gate noise floor: experiments that finish in under
-// 200ms on both sides carry more scheduler jitter than signal.
-const minGateNs = 200_000_000
-
-func runCompare(w io.Writer, oldPath, newPath string, maxRegress, metricTol float64) int {
+// old.json was recorded on different hardware. Experiments under the
+// noise floor (-noise-floor, 200ms by default) on BOTH sides are
+// reported but never gated: sub-noise-floor runs flap far past any sane
+// threshold on shared machines, and a real regression in one shows up
+// in the experiments above the floor too. Metrics are the headline
+// figures (MRE, MAE, ...) and must match bit-for-bit at metricTol 0;
+// the runtime metrics fig8d reports (seconds_*) are wall-clock
+// measurements, so they are exempt from the drift check like ns is.
+func runCompare(w io.Writer, oldPath, newPath string, maxRegress, metricTol float64, noiseFloorNs int64) int {
 	oldRep, err := readReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stpt-bench: %v\n", err)
@@ -64,7 +60,7 @@ func runCompare(w io.Writer, oldPath, newPath string, maxRegress, metricTol floa
 		if o.Ns > 0 {
 			ratio = float64(n.Ns) / float64(o.Ns)
 		}
-		gated := o.Ns >= minGateNs || n.Ns >= minGateNs
+		gated := o.Ns >= noiseFloorNs || n.Ns >= noiseFloorNs
 		note := ""
 		if !gated {
 			note = "  (below noise floor, not gated)"

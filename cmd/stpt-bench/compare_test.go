@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeReport serialises a one-experiment regression record.
+func writeReport(t *testing.T, dir, name string, ns int64, metrics map[string]float64) string {
+	t.Helper()
+	rep := benchReport{
+		Scale: "quick", Workers: 1, Reps: 1, Seed: 1,
+		Experiments: map[string]benchRecord{"fig6": {Ns: ns, Metrics: metrics}},
+		TotalNs:     ns,
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareNoiseFloorGating: a 3x slowdown below the noise floor is
+// reported but not gated; lowering -noise-floor below the measurements
+// turns the same pair of records into a failure.
+func TestCompareNoiseFloorGating(t *testing.T) {
+	dir := t.TempDir()
+	m := map[string]float64{"stpt_mre_random": 12.5}
+	oldPath := writeReport(t, dir, "old.json", (50 * time.Millisecond).Nanoseconds(), m)
+	newPath := writeReport(t, dir, "new.json", (150 * time.Millisecond).Nanoseconds(), m)
+
+	var out bytes.Buffer
+	if code := runCompare(&out, oldPath, newPath, 1.10, 0, (200 * time.Millisecond).Nanoseconds()); code != 0 {
+		t.Fatalf("below default floor: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "below noise floor") {
+		t.Fatalf("sub-floor run not flagged as ungated:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := runCompare(&out, oldPath, newPath, 1.10, 0, (100 * time.Millisecond).Nanoseconds()); code != 1 {
+		t.Fatalf("above lowered floor: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("gated regression not failed:\n%s", out.String())
+	}
+}
+
+// TestCompareMetricDriftIgnoresFloor: the noise floor gates only the
+// timing check — metric drift fails even on sub-floor experiments.
+func TestCompareMetricDriftIgnoresFloor(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", 1000, map[string]float64{"stpt_mre_random": 12.5})
+	newPath := writeReport(t, dir, "new.json", 1000, map[string]float64{"stpt_mre_random": 13.0})
+	var out bytes.Buffer
+	if code := runCompare(&out, oldPath, newPath, 1.10, 0, (200 * time.Millisecond).Nanoseconds()); code != 1 {
+		t.Fatalf("metric drift: exit %d, want 1\n%s", code, out.String())
+	}
+}

@@ -7,6 +7,7 @@
 //	stpt-bench -exp all -scale bench -workers 8
 //	stpt-bench -exp fig6-single -dataset CER -layout uniform
 //	stpt-bench -exp all -scale quick -json BENCH_PR2.json
+//	stpt-bench -exp fig6 -scale paper -checkpoint sweep.json -coordinator 127.0.0.1:7070
 //
 // Scales: quick (seconds, small grid), bench (paper grid, reduced nets),
 // paper (full Appendix C testbed; hours on CPU).
@@ -15,6 +16,12 @@
 // concurrently; tables are bit-identical for every worker count. -json
 // writes a benchmark-regression record (per-experiment wall-clock ns and
 // headline metrics) for CI to diff across commits.
+//
+// -coordinator distributes the sweep's cells to stpt-sweep worker
+// processes as time-bounded leases (see internal/dist); the -checkpoint
+// file doubles as the coordinator's journal, so killing and restarting
+// the coordinator resumes where it left off, and the printed tables are
+// bit-identical to a serial run.
 package main
 
 import (
@@ -70,6 +77,12 @@ func main() {
 		compare    = flag.Bool("compare", false, "compare two -json records (old.json new.json) instead of running a sweep; exits 1 on regression")
 		maxRegress = flag.Float64("max-regress", 1.10, "with -compare: fail when any experiment's ns ratio exceeds this (<= 0 disables the ns gate)")
 		metricTol  = flag.Float64("metric-tol", 0, "with -compare: allowed relative drift per metric (0 = bit-identical)")
+		noiseFloor = flag.Duration("noise-floor", 200*time.Millisecond, "with -compare: experiments faster than this on both sides are never ns-gated")
+
+		coordinator  = flag.String("coordinator", "", "run as sweep coordinator bound to this address (e.g. 127.0.0.1:7070); requires -checkpoint and a distributable -exp")
+		leaseTTL     = flag.Duration("lease-ttl", 30*time.Second, "with -coordinator: lease TTL; a worker silent this long loses its cell")
+		cellAttempts = flag.Int("cell-attempts", 3, "with -coordinator: lease grants per cell before dead-letter quarantine")
+		localAfter   = flag.Duration("local-after", 10*time.Second, "with -coordinator: fall back to in-process execution when no worker joins within this window (0 = immediately)")
 	)
 	flag.Parse()
 
@@ -79,7 +92,7 @@ func main() {
 		if flag.NArg() != 2 {
 			fatalf("usage: stpt-bench -compare old.json new.json")
 		}
-		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *metricTol))
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *metricTol, noiseFloor.Nanoseconds()))
 	}
 
 	if *cpuProfile != "" {
@@ -114,6 +127,14 @@ func main() {
 	opts.Workers = parallel.Workers(*workers)
 	opts.Retry = resilience.DefaultPolicy()
 	if *checkpoint != "" {
+		// One writer per checkpoint file: two sweeps resuming the same
+		// file would interleave whole-file rewrites and silently drop
+		// each other's cells.
+		release, err := resilience.AcquireFileLock(*checkpoint)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer release() //nolint:errcheck // beyond releasing there is nothing to do
 		ck, err := resilience.OpenCheckpoint(*checkpoint)
 		if err != nil {
 			fatalf("%v", err)
@@ -130,6 +151,26 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// Coordinator mode: farm the sweep's cells out to stpt-sweep workers
+	// (or fall back in-process), filling the checkpoint; the normal run
+	// path below then reduces it with every cell cached, so the printed
+	// tables are bit-identical to a serial run.
+	if *coordinator != "" {
+		err := runCoordinator(ctx, opts, coordinatorConfig{
+			Addr:        *coordinator,
+			Experiment:  *exp,
+			Dataset:     *dataset,
+			Layout:      *layout,
+			TTL:         *leaseTTL,
+			MaxAttempts: *cellAttempts,
+			LocalAfter:  *localAfter,
+			Checkpoint:  *checkpoint,
+		})
+		if err != nil {
+			fatalf("coordinator: %v%s", err, resumeHint(*checkpoint))
+		}
 	}
 
 	w := os.Stdout

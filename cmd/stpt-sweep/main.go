@@ -1,0 +1,124 @@
+// Command stpt-sweep is a distributed-sweep worker: it joins a
+// stpt-bench coordinator, leases (dataset, algorithm, rep) cells one at
+// a time, executes them, and uploads the results. Workers are fully
+// disposable — SIGKILL one mid-cell and its lease expires and the cell
+// is reassigned; start another at any time and it picks up whatever is
+// pending. All durable state lives in the coordinator's journal.
+//
+// Usage:
+//
+//	stpt-sweep -join 127.0.0.1:7070
+//	stpt-sweep -join bench-host:7070 -cells 4 -id lab-machine-3
+//
+// -cells runs that many lease loops concurrently (one cell each at a
+// time). Ctrl-C finishes nothing: in-flight cells are simply abandoned
+// to lease expiry, which is always safe because cells are idempotent.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		join    = flag.String("join", "", "coordinator address (host:port or http://host:port); required")
+		id      = flag.String("id", "", "worker id shown in coordinator logs (default host-pid)")
+		cells   = flag.Int("cells", 1, "concurrent cells to execute")
+		poll    = flag.Duration("poll", 500*time.Millisecond, "idle backoff between lease requests when no cell is available")
+		verbose = flag.Bool("v", false, "log every lease and delivery")
+	)
+	flag.Parse()
+	if *join == "" {
+		fatalf("usage: stpt-sweep -join <coordinator host:port>")
+	}
+	if *cells < 1 {
+		*cells = 1
+	}
+	if *id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	base := *join
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cl := &dist.Client{
+		Base:   base,
+		Worker: *id,
+		Poll:   *poll,
+		Retry:  dist.SweepRetryPolicy(),
+	}
+	if *verbose {
+		cl.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	reply, err := cl.Join(ctx)
+	if err != nil {
+		fatalf("joining %s: %v", base, err)
+	}
+	spec, err := experiments.DecodeSweepSpec(reply.Spec)
+	if err != nil {
+		fatalf("coordinator served an unusable sweep spec: %v", err)
+	}
+	runner, err := experiments.NewCellRunner(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "stpt-sweep: %s joined %s: experiment %s, %d cells total, %d concurrent\n",
+		*id, base, reply.Experiment, reply.Total, *cells)
+
+	// Each loop leases and executes one cell at a time; the coordinator
+	// keys leases by lease id, so concurrent loops under one worker id
+	// are independent.
+	var delivered atomic.Int64
+	errs := make([]error, *cells)
+	var wg sync.WaitGroup
+	for i := 0; i < *cells; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := cl.Run(ctx, runner.Execute)
+			delivered.Add(int64(n))
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err == nil || errors.Is(err, context.Canceled) {
+			continue
+		}
+		fatalf("after %d cells: %v", delivered.Load(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "stpt-sweep: interrupted after %d cells; in-flight leases will expire and be reassigned\n", delivered.Load())
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "stpt-sweep: sweep complete, %s delivered %d cells\n", *id, delivered.Load())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stpt-sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

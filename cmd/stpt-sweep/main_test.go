@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The end-to-end drill with the real binaries: a stpt-bench coordinator
+// farms a quick-scale fig6-single row to stpt-sweep workers, one worker
+// is SIGKILLed mid-sweep, and the coordinator's printed tables must be
+// identical to a plain serial run (modulo the wall-clock "done in"
+// line). This is the same scenario the CI smoke job runs from shell.
+
+func buildBin(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// stripTimings drops the wall-clock line — the only nondeterministic
+// part of stpt-bench stdout.
+func stripTimings(out []byte) string {
+	var keep []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "done in ") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestDistributedSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binaries")
+	}
+	dir := t.TempDir()
+	bench := buildBin(t, dir, "repro/cmd/stpt-bench", "stpt-bench")
+	sweep := buildBin(t, dir, "repro/cmd/stpt-sweep", "stpt-sweep")
+	expArgs := []string{"-exp", "fig6-single", "-dataset", "CA", "-layout", "uniform", "-scale", "quick"}
+
+	// Serial golden run.
+	serial := exec.Command(bench, append(expArgs, "-checkpoint", filepath.Join(dir, "serial-ck.json"))...)
+	serialOut, err := serial.Output()
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+
+	// Coordinator on an ephemeral port; -local-after is high so the work
+	// genuinely goes through the workers.
+	distCk := filepath.Join(dir, "dist-ck.json")
+	coord := exec.Command(bench, append(expArgs,
+		"-checkpoint", distCk, "-coordinator", "127.0.0.1:0",
+		"-lease-ttl", "2s", "-local-after", "10m")...)
+	var coordOut bytes.Buffer
+	coord.Stdout = &coordOut
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	coordDone := make(chan error, 1)
+	defer func() {
+		coord.Process.Kill()
+		<-coordDone
+	}()
+
+	// Scan coordinator stderr for the bound address (and keep draining
+	// so the child never blocks on a full pipe).
+	addrCh := make(chan string, 1)
+	var logMu sync.Mutex
+	var coordLog bytes.Buffer
+	go func() {
+		re := regexp.MustCompile(`stpt-sweep -join (\S+)`)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			logMu.Lock()
+			coordLog.WriteString(sc.Text() + "\n")
+			logMu.Unlock()
+			if m := re.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { coordDone <- coord.Wait() }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-coordDone:
+		coordDone <- err
+		t.Fatalf("coordinator exited before serving (%v)", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator never announced its address")
+	}
+
+	// The checkpoint lock: a second stpt-bench on the same file must be
+	// refused while the coordinator holds it.
+	conflict := exec.Command(bench, append(expArgs, "-checkpoint", distCk)...)
+	conflictOut, err := conflict.CombinedOutput()
+	if err == nil {
+		t.Fatalf("second sweep on a locked checkpoint succeeded:\n%s", conflictOut)
+	}
+	if !strings.Contains(string(conflictOut), "locked by running process") {
+		t.Fatalf("conflicting sweep failed for the wrong reason:\n%s", conflictOut)
+	}
+
+	// Victim worker: started alone, SIGKILLed mid-sweep.
+	victim := exec.Command(sweep, "-join", addr, "-id", "victim", "-poll", "50ms")
+	victim.Stdout, victim.Stderr = io.Discard, io.Discard
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait() //nolint:errcheck // killed on purpose
+
+	// Survivor drains the rest, including the victim's expired leases.
+	survivor := exec.Command(sweep, "-join", addr, "-id", "survivor", "-poll", "50ms")
+	if out, err := survivor.CombinedOutput(); err != nil {
+		t.Fatalf("survivor: %v\n%s", err, out)
+	}
+
+	select {
+	case err := <-coordDone:
+		coordDone <- err
+		if err != nil {
+			logMu.Lock()
+			defer logMu.Unlock()
+			t.Fatalf("coordinator: %v\n%s", err, coordLog.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator never finished after the survivor drained the sweep")
+	}
+
+	if got, want := stripTimings(coordOut.Bytes()), stripTimings(serialOut); got != want {
+		t.Fatalf("distributed tables differ from serial run\n--- distributed ---\n%s\n--- serial ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,89 @@
+package dist
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzLeaseDecode probes the worker-facing wire codec: whatever bytes a
+// confused or hostile coordinator serves, DecodeLeaseGrant either
+// rejects them or returns a grant satisfying the state invariant
+// (exactly one of done/wait/key, and a granted key carries a lease id,
+// a positive attempt and a positive TTL). Accepted grants must also
+// survive a marshal/decode round trip unchanged — the property the
+// worker's retry loop leans on when it re-reads its own grant.
+func FuzzLeaseDecode(f *testing.F) {
+	f.Add([]byte(`{"done":true}`))
+	f.Add([]byte(`{"wait":true}`))
+	f.Add([]byte(`{"key":"fig6/CER/uniform/stpt/rep3","lease_id":"ab12-7","attempt":2,"ttl_ms":30000}`))
+	f.Add([]byte(`{"done":true,"wait":true}`))
+	f.Add([]byte(`{"key":"x"}`))
+	f.Add([]byte(`{"key":"x","lease_id":"l","attempt":0,"ttl_ms":1}`))
+	f.Add([]byte(`{"key":"x","lease_id":"l","attempt":1,"ttl_ms":-5}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Add([]byte("{\"key\":\"\u0000\",\"lease_id\":\"l\",\"attempt\":1,\"ttl_ms\":1}"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		g, err := DecodeLeaseGrant(raw)
+		if err != nil {
+			return
+		}
+		states := 0
+		if g.Done {
+			states++
+		}
+		if g.Wait {
+			states++
+		}
+		if g.Key != "" {
+			states++
+		}
+		if states != 1 {
+			t.Fatalf("accepted grant %+v violates one-state invariant", g)
+		}
+		if g.Key != "" && (g.LeaseID == "" || g.Attempt < 1 || g.TTLMillis <= 0) {
+			t.Fatalf("accepted grant %+v is not executable", g)
+		}
+		reRaw, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("re-encoding accepted grant: %v", err)
+		}
+		g2, err := DecodeLeaseGrant(reRaw)
+		if err != nil {
+			t.Fatalf("round trip of accepted grant rejected: %v", err)
+		}
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatalf("round trip changed grant: %+v -> %+v", g, g2)
+		}
+	})
+}
+
+// FuzzResultDecode probes the coordinator-facing direction: arbitrary
+// result uploads never crash the decoder, and accepted results carry
+// exactly one of a valid-JSON value or an error string.
+func FuzzResultDecode(f *testing.F) {
+	f.Add([]byte(`{"worker":"w","lease_id":"l","key":"k","value":{"mre":{}}}`))
+	f.Add([]byte(`{"worker":"w","lease_id":"l","key":"k","err":"boom"}`))
+	f.Add([]byte(`{"worker":"w","lease_id":"l","key":"k","value":{"a":1},"err":"both"}`))
+	f.Add([]byte(`{"worker":"","lease_id":"l","key":"k","err":"x"}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := DecodeResult(raw)
+		if err != nil {
+			return
+		}
+		if r.Worker == "" || r.LeaseID == "" || r.Key == "" {
+			t.Fatalf("accepted result %+v missing identity", r)
+		}
+		hasValue := len(r.Value) > 0
+		if hasValue == (r.Err != "") {
+			t.Fatalf("accepted result %+v violates value-xor-err", r)
+		}
+		if hasValue && !json.Valid(r.Value) {
+			t.Fatalf("accepted result carries invalid JSON value %q", r.Value)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RunLocal drains the coordinator in-process with the given number of
+// goroutines — the graceful-degradation path when no workers join a
+// distributed sweep. It drives the exact same lease state machine as
+// the HTTP path (grants, heartbeats, deliveries, attempt caps), so
+// journal contents and the dead-letter policy are identical whether
+// cells ran locally or remotely. Heartbeats matter even in-process:
+// expiry is time-based, and a cell outliving the TTL while a sibling
+// worker touches the table would otherwise be reassigned under its
+// runner. Returns when every cell is done or dead, or ctx ends.
+func RunLocal(ctx context.Context, c *Coordinator, workers int, exec Execute) error {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		worker := fmt.Sprintf("local-%d", w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				grant := c.Lease(worker)
+				switch {
+				case grant.Done:
+					return
+				case grant.Wait:
+					// The stragglers are leased to sibling workers that
+					// cannot die without first releasing them (localExec
+					// recovers panics), so there is nothing to poll for.
+					return
+				default:
+					value, err := runLocalCell(ctx, c, worker, grant, exec)
+					if err != nil {
+						c.Fail(worker, grant.LeaseID, grant.Key, err.Error()) //nolint:errcheck // lease bookkeeping only
+						continue
+					}
+					if err := c.Deliver(worker, grant.LeaseID, grant.Key, value); err != nil {
+						c.Fail(worker, grant.LeaseID, grant.Key, err.Error()) //nolint:errcheck
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return c.Wait(ctx)
+}
+
+// runLocalCell executes one cell under a direct-call heartbeat.
+func runLocalCell(ctx context.Context, c *Coordinator, worker string, grant LeaseGrant, exec Execute) ([]byte, error) {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		interval := time.Duration(grant.TTLMillis) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				c.Heartbeat(worker, grant.LeaseID, grant.Key) //nolint:errcheck // a lost lease surfaces at Deliver
+			}
+		}
+	}()
+	return localExec(ctx, grant.Key, exec)
+}
+
+// localExec runs one cell, converting a panic into a failed attempt so
+// one poisoned cell hits its attempt cap instead of crashing the sweep.
+func localExec(ctx context.Context, key string, exec Execute) (value []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell panicked: %v", r)
+		}
+	}()
+	return exec(ctx, key)
+}

@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// maxBodyBytes bounds request bodies; a cell value is a small MRE map,
+// so anything near this limit is garbage, not work.
+const maxBodyBytes = 1 << 20
+
+// Server exposes a Coordinator over HTTP. Handlers carry the server's
+// base context so chaos tests can inject faults (FaultDistLease,
+// FaultDistResult, FaultDistHeartbeat) through a resilience.Injector.
+type Server struct {
+	coord *Coordinator
+	ctx   context.Context
+	http  *http.Server
+	ln    net.Listener
+	stop  context.CancelFunc
+	done  chan struct{}
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and starts the coordinator's
+// HTTP endpoint plus a janitor goroutine that expires stale leases every
+// TTL/4 — reassignment must not wait for worker traffic, because a
+// sweep whose last live worker is idle-polling /lease still makes
+// progress reclaiming a dead worker's cells.
+func Serve(ctx context.Context, c *Coordinator, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listening on %s: %w", addr, err)
+	}
+	sctx, stop := context.WithCancel(ctx)
+	s := &Server{coord: c, ctx: sctx, ln: ln, stop: stop, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /join", s.handleJoin)
+	mux.HandleFunc("POST /lease", s.handleLease)
+	mux.HandleFunc("POST /heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /result", s.handleResult)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.http.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	go s.janitor(sctx)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the janitor and the listener. In-flight handlers get a
+// short grace period; the lease table itself needs no shutdown (its
+// durable state is the journal).
+func (s *Server) Close() error {
+	s.stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.http.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+func (s *Server) janitor(ctx context.Context) {
+	defer close(s.done)
+	tick := time.NewTicker(s.coord.cfg.TTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.coord.Expire()
+		}
+	}
+}
+
+// readBody decodes a bounded JSON request body into dst.
+func readBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		http.Error(w, "decoding body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+// faultStatus maps an injected fault error to 503 + Retry-After so
+// workers treat it as transient and retry.
+func faultStatus(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, err.Error(), http.StatusServiceUnavailable)
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "join names no worker", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, s.coord.Join(req.Worker))
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "lease request names no worker", http.StatusBadRequest)
+		return
+	}
+	if err := resilience.Fire(s.ctx, resilience.FaultDistLease, req.Worker); err != nil {
+		faultStatus(w, err)
+		return
+	}
+	writeJSON(w, s.coord.Lease(req.Worker))
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	hb, err := DecodeHeartbeat(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := resilience.Fire(s.ctx, resilience.FaultDistHeartbeat, hb.Worker); err != nil {
+		faultStatus(w, err)
+		return
+	}
+	if err := s.coord.Heartbeat(hb.Worker, hb.LeaseID, hb.Key); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := DecodeResult(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Fires BEFORE the journal write: a failing hook drops the upload
+	// pre-durability, so the worker retries and exactly-once falls out
+	// of the idempotent re-delivery path.
+	if err := resilience.Fire(s.ctx, resilience.FaultDistResult, res.Key); err != nil {
+		faultStatus(w, err)
+		return
+	}
+	if res.Err != "" {
+		if err := s.coord.Fail(res.Worker, res.LeaseID, res.Key, res.Err); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	switch err := s.coord.Deliver(res.Worker, res.LeaseID, res.Key, res.Value); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, ErrDuplicate), errors.Is(err, ErrLeaseLost):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrInvalidResult):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	default:
+		// Journal write failure: transient from the worker's view.
+		faultStatus(w, err)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.coord.Snapshot())
+}

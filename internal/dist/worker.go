@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// Execute runs one cell and returns its portable JSON value. It must be
+// deterministic in the key (idempotent replays are the crash-recovery
+// story) and should honour ctx: when the worker learns its lease is
+// lost, ctx is cancelled and the result discarded.
+type Execute func(ctx context.Context, key string) ([]byte, error)
+
+// Client is a sweep worker: it joins a coordinator, then loops
+// lease → execute → upload until the coordinator says the sweep is
+// done. Network and 5xx failures are retried under a resilience.Policy;
+// 409 (lease lost / duplicate) means the work belongs to someone else
+// now and the cell is abandoned without complaint.
+type Client struct {
+	// Base is the coordinator's URL, e.g. "http://127.0.0.1:7070".
+	Base string
+	// Worker is this worker's id (unique per process).
+	Worker string
+	// Poll is the idle backoff when the coordinator answers Wait.
+	// Zero defaults to 500ms.
+	Poll time.Duration
+	// Retry bounds transient-failure retries on every coordinator call.
+	// The zero value means a single attempt; SweepRetryPolicy is the
+	// production default.
+	Retry resilience.Policy
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+
+	ttl time.Duration
+}
+
+// SweepRetryPolicy is the default transport policy: enough patience to
+// ride out a coordinator restart, bounded so a vanished coordinator
+// fails the worker in seconds, not forever.
+func SweepRetryPolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: 6,
+		BaseDelay:   200 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		MaxElapsed:  30 * time.Second,
+	}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// errConflict wraps a 409: the lease is gone or the cell already done.
+// Never retryable — the coordinator has spoken.
+var errConflict = errors.New("dist: conflict")
+
+// post sends one JSON request and decodes the reply body. Transport
+// errors and 5xx come back marked retryable (503 honours Retry-After);
+// 409 maps to errConflict; other statuses are terminal.
+func (c *Client) post(ctx context.Context, path string, body any) ([]byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, resilience.MarkRetryable(fmt.Errorf("dist: %s: %w", path, err))
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, resilience.MarkRetryable(fmt.Errorf("dist: reading %s reply: %w", path, err))
+	}
+	switch {
+	case resp.StatusCode < 300:
+		return reply, nil
+	case resp.StatusCode == http.StatusConflict:
+		return nil, fmt.Errorf("%w: %s", errConflict, bytes.TrimSpace(reply))
+	case resp.StatusCode >= 500:
+		err := fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(reply))
+		if after, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && after > 0 {
+			return nil, resilience.MarkRetryAfter(err, time.Duration(after)*time.Second)
+		}
+		return nil, resilience.MarkRetryable(err)
+	default:
+		return nil, fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(reply))
+	}
+}
+
+// postRetry wraps post with the client's retry policy.
+func (c *Client) postRetry(ctx context.Context, path string, body any) ([]byte, error) {
+	var reply []byte
+	err := resilience.Retry(ctx, c.Retry, func(int, int64) error {
+		var perr error
+		reply, perr = c.post(ctx, path, body)
+		return perr
+	})
+	return reply, err
+}
+
+// Join performs the handshake and returns the sweep description.
+func (c *Client) Join(ctx context.Context) (JoinReply, error) {
+	raw, err := c.postRetry(ctx, "/join", JoinRequest{Worker: c.Worker})
+	if err != nil {
+		return JoinReply{}, err
+	}
+	reply, err := DecodeJoinReply(raw)
+	if err != nil {
+		return JoinReply{}, err
+	}
+	c.ttl = time.Duration(reply.TTLMillis) * time.Millisecond
+	return reply, nil
+}
+
+// Run drains the coordinator: lease cells and execute them until the
+// sweep reports done or ctx ends. Join must have been called first (it
+// establishes the lease TTL). Returns the number of cells this worker
+// delivered.
+func (c *Client) Run(ctx context.Context, exec Execute) (int, error) {
+	if c.ttl <= 0 {
+		return 0, fmt.Errorf("dist: Run before Join (no lease TTL)")
+	}
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	delivered := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return delivered, err
+		}
+		raw, err := c.postRetry(ctx, "/lease", LeaseRequest{Worker: c.Worker})
+		if err != nil {
+			return delivered, fmt.Errorf("dist: leasing: %w", err)
+		}
+		grant, err := DecodeLeaseGrant(raw)
+		if err != nil {
+			return delivered, err
+		}
+		switch {
+		case grant.Done:
+			return delivered, nil
+		case grant.Wait:
+			t := time.NewTimer(poll)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return delivered, ctx.Err()
+			case <-t.C:
+			}
+		default:
+			ok, err := c.runCell(ctx, grant, exec)
+			if err != nil {
+				return delivered, err
+			}
+			if ok {
+				delivered++
+			}
+		}
+	}
+}
+
+// runCell executes one granted cell under a heartbeat, then uploads the
+// result. It returns (delivered, terminal error): a lost lease or a
+// failed cell is not terminal — the coordinator owns that bookkeeping —
+// but a dead coordinator or cancelled ctx is.
+func (c *Client) runCell(ctx context.Context, grant LeaseGrant, exec Execute) (bool, error) {
+	c.logf("dist: worker %s: cell %s (attempt %d)", c.Worker, grant.Key, grant.Attempt)
+	cellCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		c.heartbeatLoop(cellCtx, cancel, grant)
+	}()
+
+	value, execErr := c.execSafely(cellCtx, grant.Key, exec)
+	cancel(nil)
+	<-hbDone
+	if lost := context.Cause(cellCtx); lost != nil && errors.Is(lost, errConflict) {
+		// The lease expired under us (e.g. a partition outlived the TTL):
+		// the cell belongs to another worker now, drop the result.
+		c.logf("dist: worker %s: lease on %s lost mid-cell: %v", c.Worker, grant.Key, lost)
+		return false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+
+	res := Result{Worker: c.Worker, LeaseID: grant.LeaseID, Key: grant.Key}
+	if execErr != nil {
+		c.logf("dist: worker %s: cell %s failed: %v", c.Worker, grant.Key, execErr)
+		res.Err = execErr.Error()
+	} else {
+		res.Value = value
+	}
+	// Uploads retry on transient failure; re-delivery under the same
+	// lease is idempotent server-side, so a lost 2xx is safe to resend.
+	if _, err := c.postRetry(ctx, "/result", res); err != nil {
+		if errors.Is(err, errConflict) {
+			c.logf("dist: worker %s: result for %s refused: %v", c.Worker, grant.Key, err)
+			return false, nil
+		}
+		return false, fmt.Errorf("dist: uploading %s: %w", grant.Key, err)
+	}
+	return execErr == nil, nil
+}
+
+// execSafely converts an Execute panic into a failed attempt reported
+// to the coordinator, rather than taking the worker (and its other
+// prospects) down with it.
+func (c *Client) execSafely(ctx context.Context, key string, exec Execute) (value []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell panicked: %v", r)
+		}
+	}()
+	return exec(ctx, key)
+}
+
+// heartbeatLoop extends the lease every TTL/3 until ctx ends. On a 409
+// it cancels the cell's context with the conflict cause — the executor
+// should stop burning cycles on work that will be refused.
+func (c *Client) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFunc, grant LeaseGrant) {
+	interval := c.ttl / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	hb := Heartbeat{Worker: c.Worker, LeaseID: grant.LeaseID, Key: grant.Key}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			// A single heartbeat rides on best effort (one attempt, no
+			// retry): the next tick is the retry, and the TTL gives us
+			// several ticks of slack before the lease actually lapses.
+			if _, err := c.post(ctx, "/heartbeat", hb); err != nil && errors.Is(err, errConflict) {
+				cancel(fmt.Errorf("heartbeat for %s: %w", grant.Key, err))
+				return
+			}
+		}
+	}
+}

@@ -35,17 +35,7 @@ func RunExtendedContext(ctx context.Context, o Options) ([]ExtendedRow, error) {
 	perRow := 1 + len(baselines.Extended())
 	rowAlgs := make([][]algCells, len(layouts))
 	parallel.ForEach(o.Workers, len(layouts), func(i int) {
-		layout := layouts[i]
-		d := o.generate(spec, layout)
-		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
-		truth := in.Truth()
-		qs := o.drawQueries(truth)
-		prefix := fmt.Sprintf("extended/%s/%s", spec.Name, layout)
-		algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
-		for _, alg := range baselines.Extended() {
-			algs = append(algs, o.baselineCells(alg, in, truth, qs, prefix+"/"+alg.Name()))
-		}
-		rowAlgs[i] = algs
+		rowAlgs[i] = o.extendedRowCells(layouts[i])
 	})
 	var all []algCells
 	for _, algs := range rowAlgs {
@@ -63,6 +53,21 @@ func RunExtendedContext(ctx context.Context, o Options) ([]ExtendedRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// extendedRowCells builds one layout's extended-comparison row (CER).
+func (o Options) extendedRowCells(layout datasets.Layout) []algCells {
+	spec := datasets.CER
+	d := o.generate(spec, layout)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+	prefix := fmt.Sprintf("extended/%s/%s", spec.Name, layout)
+	algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
+	for _, alg := range baselines.Extended() {
+		algs = append(algs, o.baselineCells(alg, in, truth, qs, prefix+"/"+alg.Name()))
+	}
+	return algs
 }
 
 // PrintExtended renders the comparison.

@@ -29,29 +29,11 @@ func RunFig7Context(ctx context.Context, o Options) ([]Fig7Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var comparators []baselines.Algorithm
-	for _, name := range []string{"identity", "wpo"} {
-		alg, err := baselines.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		comparators = append(comparators, alg)
-	}
 	specs := datasets.All()
-	perRow := 1 + len(comparators)
+	perRow := 1 + len(fig7Comparators())
 	rowAlgs := make([][]algCells, len(specs))
 	parallel.ForEach(o.Workers, len(specs), func(i int) {
-		spec := specs[i]
-		d := o.generate(spec, datasets.LosAngeles)
-		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
-		truth := in.Truth()
-		qs := o.drawQueries(truth)
-		prefix := "fig7/" + spec.Name
-		algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
-		for _, alg := range comparators {
-			algs = append(algs, o.baselineCells(alg, in, truth, qs, prefix+"/"+alg.Name()))
-		}
-		rowAlgs[i] = algs
+		rowAlgs[i] = o.fig7RowCells(specs[i])
 	})
 	var all []algCells
 	for _, algs := range rowAlgs {
@@ -66,6 +48,34 @@ func RunFig7Context(ctx context.Context, o Options) ([]Fig7Result, error) {
 		out[i] = Fig7Result{Dataset: spec.Name, Results: results[i*perRow : (i+1)*perRow]}
 	}
 	return out, nil
+}
+
+// fig7Comparators returns Figure 7's baseline suite (the lookups cannot
+// fail: both names are registry members, pinned by tests).
+func fig7Comparators() []baselines.Algorithm {
+	var comparators []baselines.Algorithm
+	for _, name := range []string{"identity", "wpo"} {
+		alg, err := baselines.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		comparators = append(comparators, alg)
+	}
+	return comparators
+}
+
+// fig7RowCells builds one dataset's Figure-7 row under the LA layout.
+func (o Options) fig7RowCells(spec datasets.Spec) []algCells {
+	d := o.generate(spec, datasets.LosAngeles)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+	prefix := "fig7/" + spec.Name
+	algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
+	for _, alg := range fig7Comparators() {
+		algs = append(algs, o.baselineCells(alg, in, truth, qs, prefix+"/"+alg.Name()))
+	}
+	return algs
 }
 
 // PrintFig7 renders the comparison; the paper's takeaway is WPO trailing

@@ -31,23 +31,11 @@ func RunLDPExtensionContext(ctx context.Context, o Options) ([]LDPResult, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	specs := []datasets.Spec{datasets.CER, datasets.TX}
-	mechanisms := []ldp.Mechanism{ldp.LocalLaplace{}, ldp.LocalSampling{}}
-	perRow := 1 + len(mechanisms)
+	specs := ldpSpecs()
+	perRow := 1 + len(ldpMechanisms())
 	rowAlgs := make([][]algCells, len(specs))
 	parallel.ForEach(o.Workers, len(specs), func(i int) {
-		spec := specs[i]
-		d := o.generate(spec, datasets.Uniform)
-		in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
-		truth := in.Truth()
-		qs := o.drawQueries(truth)
-		prefix := "ldp/" + spec.Name
-		lin := ldp.Input{Dataset: d, TTrain: o.TTrain, Clip: spec.DailyClip()}
-		algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
-		for _, m := range mechanisms {
-			algs = append(algs, o.ldpCells(m, lin, truth, qs, prefix+"/"+m.Name()))
-		}
-		rowAlgs[i] = algs
+		rowAlgs[i] = o.ldpRowCells(specs[i])
 	})
 	var all []algCells
 	for _, algs := range rowAlgs {
@@ -62,6 +50,27 @@ func RunLDPExtensionContext(ctx context.Context, o Options) ([]LDPResult, error)
 		out[i] = LDPResult{Dataset: spec.Name, Results: results[i*perRow : (i+1)*perRow]}
 	}
 	return out, nil
+}
+
+// ldpSpecs and ldpMechanisms pin the LDP comparison's row and column
+// sets, shared by the in-process runner and the distributed work list.
+func ldpSpecs() []datasets.Spec { return []datasets.Spec{datasets.CER, datasets.TX} }
+
+func ldpMechanisms() []ldp.Mechanism { return []ldp.Mechanism{ldp.LocalLaplace{}, ldp.LocalSampling{}} }
+
+// ldpRowCells builds one dataset's LDP comparison row (uniform layout).
+func (o Options) ldpRowCells(spec datasets.Spec) []algCells {
+	d := o.generate(spec, datasets.Uniform)
+	in := baselines.Input{Dataset: d, TTrain: o.TTrain, CellSensitivity: spec.DailyClip()}
+	truth := in.Truth()
+	qs := o.drawQueries(truth)
+	prefix := "ldp/" + spec.Name
+	lin := ldp.Input{Dataset: d, TTrain: o.TTrain, Clip: spec.DailyClip()}
+	algs := []algCells{o.stptCells(d, spec, truth, qs, nil, prefix+"/stpt")}
+	for _, m := range ldpMechanisms() {
+		algs = append(algs, o.ldpCells(m, lin, truth, qs, prefix+"/"+m.Name()))
+	}
+	return algs
 }
 
 // ldpCells is one local-DP mechanism's slot of an LDP comparison row.

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+)
+
+// registryNames lists the Figure-6 baseline suite's slot names in
+// registry order.
+func registryNames() []string {
+	var names []string
+	for _, alg := range baselines.Registry() {
+		names = append(names, alg.Name())
+	}
+	return names
+}
+
+// This file is the distributed-execution surface of the experiment
+// sweeps: it exposes the same (dataset, algorithm, rep) cells that
+// checkpointing introduced — keyed identically, e.g.
+// "fig6/CER/uniform/stpt/rep3" — as a portable work list, so a
+// coordinator can shard them across worker processes and fold the
+// results back through the unchanged in-process reduction. Three
+// properties make that sound:
+//
+//  1. Cells are deterministic: a cell's value depends only on the sweep
+//     spec and the cell key, never on which process computes it or when.
+//  2. Cells are idempotent checkpoint units: a cell computed twice
+//     yields byte-identical JSON, so replays after lease expiry are
+//     harmless and dedup-by-key is exact.
+//  3. The cell value encoding IS the checkpoint cell encoding, so a
+//     journal of delivered results is a valid -checkpoint file and the
+//     final tables come out of the existing resume path bit for bit.
+
+// SweepSpec is the wire description of a distributable sweep: the
+// experiment's identity plus every scalar knob of Options. It
+// deliberately carries no process-local state (no checkpoint handle, no
+// worker count, no retry policy) — those belong to whichever process
+// interprets the spec.
+type SweepSpec struct {
+	Experiment string `json:"experiment"`
+	// Dataset and Layout select the single row of fig6-single; other
+	// experiments ignore them.
+	Dataset string `json:"dataset,omitempty"`
+	Layout  string `json:"layout,omitempty"`
+
+	Cx          int     `json:"cx"`
+	Cy          int     `json:"cy"`
+	TTrain      int     `json:"t_train"`
+	Horizon     int     `json:"horizon"`
+	Depth       int     `json:"depth"`
+	WindowSize  int     `json:"window_size"`
+	QuantLevels int     `json:"quant_levels"`
+	EmbedDim    int     `json:"embed_dim"`
+	Hidden      int     `json:"hidden"`
+	Epochs      int     `json:"epochs"`
+	EpsPattern  float64 `json:"eps_pattern"`
+	EpsSanitize float64 `json:"eps_sanitize"`
+	Queries     int     `json:"queries"`
+	Reps        int     `json:"reps"`
+	Seed        int64   `json:"seed"`
+	Households  int     `json:"households,omitempty"`
+}
+
+// DistributableExperiments names the sweeps that shard into independent
+// (dataset, algorithm, rep) cells. The fig8 parameter sweeps, table2 and
+// fig9 do not use per-cell checkpoint keys and stay in-process.
+func DistributableExperiments() []string {
+	return []string{"fig6", "fig6-single", "fig7", "ldp", "extended"}
+}
+
+// NewSweepSpec freezes an Options into a portable spec for the given
+// experiment. dataset and layout are consulted only by fig6-single.
+func NewSweepSpec(experiment, dataset, layout string, o Options) SweepSpec {
+	return SweepSpec{
+		Experiment: experiment, Dataset: dataset, Layout: layout,
+		Cx: o.Cx, Cy: o.Cy, TTrain: o.TTrain, Horizon: o.Horizon,
+		Depth: o.Depth, WindowSize: o.WindowSize, QuantLevels: o.QuantLevels,
+		EmbedDim: o.EmbedDim, Hidden: o.Hidden, Epochs: o.Epochs,
+		EpsPattern: o.EpsPattern, EpsSanitize: o.EpsSanitize,
+		Queries: o.Queries, Reps: o.Reps, Seed: o.Seed, Households: o.Households,
+	}
+}
+
+// Options reconstructs the experiment options a worker must run with.
+// Workers, Checkpoint and Retry stay zero: a remote cell runs exactly
+// one serial pipeline, and durability lives at the coordinator.
+func (s SweepSpec) Options() Options {
+	return Options{
+		Cx: s.Cx, Cy: s.Cy, TTrain: s.TTrain, Horizon: s.Horizon,
+		Depth: s.Depth, WindowSize: s.WindowSize, QuantLevels: s.QuantLevels,
+		EmbedDim: s.EmbedDim, Hidden: s.Hidden, Epochs: s.Epochs,
+		EpsPattern: s.EpsPattern, EpsSanitize: s.EpsSanitize,
+		Queries: s.Queries, Reps: s.Reps, Seed: s.Seed, Households: s.Households,
+	}
+}
+
+// Validate rejects specs that could not have come from a well-formed
+// coordinator before any expensive work starts.
+func (s SweepSpec) Validate() error {
+	if _, err := s.rows(); err != nil {
+		return err
+	}
+	if s.Cx <= 0 || s.Cy <= 0 || s.TTrain <= 0 || s.Horizon <= 0 {
+		return fmt.Errorf("experiments: spec has non-positive dimensions (cx=%d cy=%d t_train=%d horizon=%d)", s.Cx, s.Cy, s.TTrain, s.Horizon)
+	}
+	if s.Reps <= 0 {
+		return fmt.Errorf("experiments: spec has reps=%d, want >= 1", s.Reps)
+	}
+	if s.Queries <= 0 {
+		return fmt.Errorf("experiments: spec has queries=%d, want >= 1", s.Queries)
+	}
+	return nil
+}
+
+// DecodeSweepSpec parses and validates a wire spec.
+func DecodeSweepSpec(raw []byte) (SweepSpec, error) {
+	var s SweepSpec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return SweepSpec{}, fmt.Errorf("experiments: decoding sweep spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return SweepSpec{}, err
+	}
+	return s, nil
+}
+
+// distRow is one comparison row of a distributable sweep: its stable
+// checkpoint prefix, the algorithm slot names in canonical order (cheap
+// to enumerate), and a builder that materialises the row's cells —
+// deliberately lazy, because building generates the row's dataset.
+type distRow struct {
+	prefix string
+	algs   []string
+	build  func(o Options) []algCells
+}
+
+// rows enumerates the spec's comparison rows in canonical order — the
+// exact flattening order the in-process runners feed runCells.
+func (s SweepSpec) rows() ([]distRow, error) {
+	stptPlus := func(names ...string) []string { return append([]string{"stpt"}, names...) }
+	switch s.Experiment {
+	case "fig6":
+		var rows []distRow
+		names := registryNames()
+		for _, spec := range datasets.All() {
+			for _, layout := range []datasets.Layout{datasets.Uniform, datasets.Normal} {
+				spec, layout := spec, layout
+				rows = append(rows, distRow{
+					prefix: fmt.Sprintf("fig6/%s/%s", spec.Name, layout),
+					algs:   stptPlus(names...),
+					build:  func(o Options) []algCells { return o.fig6RowCells(spec, layout) },
+				})
+			}
+		}
+		return rows, nil
+	case "fig6-single":
+		spec, err := datasets.ByName(s.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		layout, err := datasets.ParseLayout(s.Layout)
+		if err != nil {
+			return nil, err
+		}
+		return []distRow{{
+			prefix: fmt.Sprintf("fig6/%s/%s", spec.Name, layout),
+			algs:   stptPlus(registryNames()...),
+			build:  func(o Options) []algCells { return o.fig6RowCells(spec, layout) },
+		}}, nil
+	case "fig7":
+		var names []string
+		for _, alg := range fig7Comparators() {
+			names = append(names, alg.Name())
+		}
+		var rows []distRow
+		for _, spec := range datasets.All() {
+			spec := spec
+			rows = append(rows, distRow{
+				prefix: "fig7/" + spec.Name,
+				algs:   stptPlus(names...),
+				build:  func(o Options) []algCells { return o.fig7RowCells(spec) },
+			})
+		}
+		return rows, nil
+	case "ldp":
+		var names []string
+		for _, m := range ldpMechanisms() {
+			names = append(names, m.Name())
+		}
+		var rows []distRow
+		for _, spec := range ldpSpecs() {
+			spec := spec
+			rows = append(rows, distRow{
+				prefix: "ldp/" + spec.Name,
+				algs:   stptPlus(names...),
+				build:  func(o Options) []algCells { return o.ldpRowCells(spec) },
+			})
+		}
+		return rows, nil
+	case "extended":
+		var names []string
+		for _, alg := range baselines.Extended() {
+			names = append(names, alg.Name())
+		}
+		var rows []distRow
+		for _, layout := range []datasets.Layout{datasets.Uniform, datasets.Normal} {
+			layout := layout
+			rows = append(rows, distRow{
+				prefix: fmt.Sprintf("extended/%s/%s", datasets.CER.Name, layout),
+				algs:   stptPlus(names...),
+				build:  func(o Options) []algCells { return o.extendedRowCells(layout) },
+			})
+		}
+		return rows, nil
+	default:
+		return nil, fmt.Errorf("experiments: %q is not distributable (distributable: %s)",
+			s.Experiment, strings.Join(DistributableExperiments(), ", "))
+	}
+}
+
+// WorkList enumerates every cell key of the sweep in canonical order:
+// row-major, then algorithm slot, then rep — the same order the
+// in-process reduction consumes them. Enumeration is cheap (no dataset
+// is generated), so a coordinator can build its lease table instantly.
+func (s SweepSpec) WorkList() ([]string, error) {
+	rows, err := s.rows()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var keys []string
+	for _, row := range rows {
+		for _, alg := range row.algs {
+			for rep := 0; rep < s.Reps; rep++ {
+				keys = append(keys, repKey(row.prefix+"/"+alg, rep))
+			}
+		}
+	}
+	return keys, nil
+}
+
+// CellRunner executes individual sweep cells by checkpoint key. Row
+// inputs (generated dataset, truth matrix, shared queries) are built
+// once per row and cached, so a worker streaming through a row's cells
+// pays the generation cost once. Execute is safe for concurrent use.
+type CellRunner struct {
+	opts Options
+	rows map[string]*rowState
+}
+
+type rowState struct {
+	once  sync.Once
+	build func(o Options) []algCells
+	algs  []algCells
+}
+
+// NewCellRunner validates the spec and prepares (but does not build)
+// its rows.
+func NewCellRunner(spec SweepSpec) (*CellRunner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rows, err := spec.rows()
+	if err != nil {
+		return nil, err
+	}
+	r := &CellRunner{opts: spec.Options(), rows: make(map[string]*rowState, len(rows))}
+	for _, row := range rows {
+		r.rows[row.prefix] = &rowState{build: row.build}
+	}
+	return r, nil
+}
+
+// SplitCellKey parses "<row-prefix>/<alg>/rep<N>" into its parts.
+func SplitCellKey(key string) (rowPrefix, alg string, rep int, err error) {
+	i := strings.LastIndexByte(key, '/')
+	if i < 0 || !strings.HasPrefix(key[i+1:], "rep") {
+		return "", "", 0, fmt.Errorf("experiments: cell key %q does not end in /rep<N>", key)
+	}
+	rep, aerr := strconv.Atoi(key[i+4:])
+	if aerr != nil || rep < 0 {
+		return "", "", 0, fmt.Errorf("experiments: cell key %q has a malformed rep index", key)
+	}
+	rest := key[:i]
+	j := strings.LastIndexByte(rest, '/')
+	if j <= 0 || j == len(rest)-1 {
+		return "", "", 0, fmt.Errorf("experiments: cell key %q is missing its algorithm segment", key)
+	}
+	return rest[:j], rest[j+1:], rep, nil
+}
+
+// Execute runs one cell and returns its checkpoint-encoded JSON value —
+// byte-identical to what a serial checkpointed sweep would record under
+// the same key.
+func (r *CellRunner) Execute(ctx context.Context, key string) ([]byte, error) {
+	prefix, alg, rep, err := SplitCellKey(key)
+	if err != nil {
+		return nil, err
+	}
+	row, ok := r.rows[prefix]
+	if !ok {
+		return nil, fmt.Errorf("experiments: cell %q is not part of this sweep", key)
+	}
+	if rep >= r.opts.Reps {
+		return nil, fmt.Errorf("experiments: cell %q has rep %d, sweep runs %d reps", key, rep, r.opts.Reps)
+	}
+	row.once.Do(func() { row.algs = row.build(r.opts) })
+	want := prefix + "/" + alg
+	for _, cells := range row.algs {
+		if cells.prefix != want {
+			continue
+		}
+		m, err := cells.run(ctx, rep)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", key, err)
+		}
+		return json.Marshal(encodeMRE(m))
+	}
+	return nil, fmt.Errorf("experiments: cell %q names no algorithm slot of row %q", key, prefix)
+}
+
+// ValidateCellValue checks that an uploaded cell value is a well-formed
+// checkpoint cell this build can fold into tables: valid JSON, known
+// query classes, at least one class. The coordinator runs this before
+// journaling, so a corrupt upload is refused instead of surfacing hours
+// later as a silent cache miss during reduction.
+func ValidateCellValue(raw []byte) error {
+	var cell mreCell
+	if err := json.Unmarshal(raw, &cell); err != nil {
+		return fmt.Errorf("experiments: cell value is not valid JSON: %w", err)
+	}
+	if len(cell.MRE) == 0 {
+		return fmt.Errorf("experiments: cell value has no MRE classes")
+	}
+	if _, ok := cell.decode(); !ok {
+		return fmt.Errorf("experiments: cell value names unknown query classes")
+	}
+	return nil
+}

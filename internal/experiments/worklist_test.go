@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/resilience"
+)
+
+func microSpec(exp, dataset, layout string) SweepSpec {
+	return NewSweepSpec(exp, dataset, layout, micro())
+}
+
+func TestWorkListCanonicalOrderAndShape(t *testing.T) {
+	o := micro()
+	o.Reps = 2
+	spec := NewSweepSpec("fig6", "", "", o)
+	keys, err := spec.WorkList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 datasets x 2 layouts x (stpt + registry) algs x 2 reps.
+	perRow := 1 + len(registryNames())
+	if want := 4 * 2 * perRow * 2; len(keys) != want {
+		t.Fatalf("len(keys) = %d, want %d", len(keys), want)
+	}
+	if keys[0] != "fig6/CER/uniform/stpt/rep0" || keys[1] != "fig6/CER/uniform/stpt/rep1" {
+		t.Fatalf("canonical order broken: %v", keys[:2])
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %s", k)
+		}
+		seen[k] = true
+		if _, _, _, err := SplitCellKey(k); err != nil {
+			t.Fatalf("enumerated key does not parse: %v", err)
+		}
+	}
+}
+
+func TestWorkListRejectsNonDistributable(t *testing.T) {
+	for _, exp := range []string{"fig8c", "table2", "fig9", "ablations", "all", ""} {
+		if _, err := NewSweepSpec(exp, "", "", micro()).WorkList(); err == nil {
+			t.Fatalf("%q: expected a not-distributable error", exp)
+		}
+	}
+	if _, err := NewSweepSpec("fig6-single", "NOPE", "uniform", micro()).WorkList(); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := NewSweepSpec("fig6-single", "CER", "sideways", micro()).WorkList(); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+}
+
+func TestSplitCellKey(t *testing.T) {
+	prefix, alg, rep, err := SplitCellKey("fig6/CER/uniform/stpt/rep3")
+	if err != nil || prefix != "fig6/CER/uniform" || alg != "stpt" || rep != 3 {
+		t.Fatalf("got (%q, %q, %d, %v)", prefix, alg, rep, err)
+	}
+	for _, bad := range []string{"", "rep3", "stpt/rep3", "fig6/CER/stpt/repX", "fig6/CER/stpt/3", "fig6/CER/stpt/rep-1"} {
+		if _, _, _, err := SplitCellKey(bad); err == nil {
+			t.Fatalf("%q parsed", bad)
+		}
+	}
+}
+
+// TestExecuteMatchesSerialCheckpointCells is the distribution soundness
+// proof at package level: for every cell of a row, the CellRunner's
+// portable value is byte-identical to what the serial checkpointed
+// sweep records under the same key, and a journal assembled purely from
+// Execute outputs drives the in-process reduction to the exact serial
+// tables.
+func TestExecuteMatchesSerialCheckpointCells(t *testing.T) {
+	o := micro()
+	spec := microSpec("fig6-single", "CA", "uniform")
+
+	// Serial golden run with a real checkpoint file.
+	path := filepath.Join(t.TempDir(), "serial.json")
+	ck, err := resilience.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := o
+	serial.Checkpoint = ck
+	want, err := RunFig6Single(serial, datasets.CA, datasets.Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys, err := spec.WorkList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != ck.Len() {
+		t.Fatalf("work list has %d cells, serial checkpoint recorded %d", len(keys), ck.Len())
+	}
+
+	runner, err := NewCellRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := resilience.NewMemoryCheckpoint()
+	for _, key := range keys {
+		raw, err := runner.Execute(context.Background(), key)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if err := ValidateCellValue(raw); err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		var serialCell mreCell
+		if !ck.Lookup(key, &serialCell) {
+			t.Fatalf("serial checkpoint is missing %s", key)
+		}
+		serialRaw, err := json.Marshal(serialCell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, serialRaw) {
+			t.Fatalf("%s: Execute value %s != serial checkpoint cell %s", key, raw, serialRaw)
+		}
+		if err := journal.Record(key, json.RawMessage(raw)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reduction from the assembled journal reproduces the serial tables.
+	reduced := o
+	reduced.Checkpoint = journal
+	got, err := RunFig6Single(reduced, datasets.CA, datasets.Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, got, want)
+}
+
+func TestExecuteRejectsForeignAndMalformedKeys(t *testing.T) {
+	runner, err := NewCellRunner(microSpec("fig6-single", "CA", "uniform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, bad := range []string{
+		"fig6/CER/uniform/stpt/rep0", // different row
+		"fig6/CA/uniform/nosuch/rep0",
+		"fig6/CA/uniform/stpt/rep99", // beyond Reps
+		"garbage",
+	} {
+		if _, err := runner.Execute(ctx, bad); err == nil {
+			t.Fatalf("%q executed", bad)
+		}
+	}
+}
+
+func TestValidateCellValue(t *testing.T) {
+	if err := ValidateCellValue([]byte(`{"mre":{"random":1.5,"small":2.0,"large":0.25}}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		`{`, `{"mre":{}}`, `{"mre":{"martian":1.0}}`, `null`, `"hi"`,
+	} {
+		if err := ValidateCellValue([]byte(bad)); err == nil {
+			t.Fatalf("%q validated", bad)
+		}
+	}
+}

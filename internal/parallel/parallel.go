@@ -15,10 +15,62 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// TaskPanic is the panic value ForEach, ForEachShard and Do re-throw on
+// the calling goroutine when a task panics on a pool goroutine. Without
+// this translation a panicking cell kills the whole process with a
+// stack rooted in an anonymous pool worker — useless for finding which
+// sweep cell blew up. Index is the failing task (or shard) index, Value
+// the original panic value, and Stack the panicking goroutine's trace
+// captured at recovery time. When several tasks panic before the pool
+// drains, the lowest index wins, matching Do's deterministic error
+// selection.
+type TaskPanic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// Unwrap exposes a panic value that already was an error.
+func (p *TaskPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicSlot collects the winning (lowest-index) panic from a pool.
+type panicSlot struct {
+	mu sync.Mutex
+	p  *TaskPanic
+}
+
+func (s *panicSlot) capture(i int, v any) {
+	stack := debug.Stack()
+	s.mu.Lock()
+	if s.p == nil || i < s.p.Index {
+		s.p = &TaskPanic{Index: i, Value: v, Stack: stack}
+	}
+	s.mu.Unlock()
+}
+
+// rethrow panics with the captured *TaskPanic, if any. It must run on
+// the calling goroutine, after the pool has drained.
+func (s *panicSlot) rethrow() {
+	if s.p != nil {
+		panic(s.p)
+	}
+}
 
 // Workers resolves a worker-count knob for callers that want "as parallel
 // as the hardware": n > 0 is honoured verbatim, anything else maps to
@@ -68,6 +120,12 @@ func Shards(n, workers int) []Range {
 // fn must only write state owned by index i (disjoint writes need no
 // synchronisation). workers <= 1 runs the plain serial loop on the
 // calling goroutine.
+//
+// A panic in fn does not die on a pool goroutine: the first panic is
+// captured, no new tasks are started (tasks already running finish),
+// and the pool re-panics on the calling goroutine with a *TaskPanic
+// naming the failing index. The serial path keeps the historical
+// behaviour of propagating the panic directly.
 func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -81,22 +139,38 @@ func ForEach(workers, n int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		ps   panicSlot
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							stop.Store(true)
+							ps.capture(i, v)
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	ps.rethrow()
 }
 
 // ForEachShard partitions [0, n) into contiguous shards (one per worker,
@@ -113,15 +187,24 @@ func ForEachShard(workers, n int, fn func(s int, r Range)) {
 		fn(0, shards[0])
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg sync.WaitGroup
+		ps panicSlot
+	)
 	for s := range shards {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					ps.capture(s, v)
+				}
+			}()
 			fn(s, shards[s])
 		}(s)
 	}
 	wg.Wait()
+	ps.rethrow() // *TaskPanic.Index is the shard index here
 }
 
 // Do runs fn(i) for every i in [0, n) on up to workers goroutines with
@@ -129,7 +212,10 @@ func ForEachShard(workers, n int, fn func(s int, r Range)) {
 // subset of tasks fails, the returned error is the one with the lowest
 // index (so a parallel sweep reports the same failure a serial sweep
 // would). After the first failure or context cancellation no new tasks
-// are started; tasks already running finish normally.
+// are started; tasks already running finish normally. A panicking task
+// is handled like ForEach's: captured, remaining work cancelled, and
+// re-panicked on the calling goroutine as a *TaskPanic (panics outrank
+// returned errors).
 //
 // workers <= 1 preserves the historical serial sweep semantics exactly:
 // tasks run in index order on the calling goroutine and the loop stops at
@@ -156,6 +242,7 @@ func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
 		next atomic.Int64
 		stop atomic.Bool
 		wg   sync.WaitGroup
+		ps   panicSlot
 		errs = make([]error, n)
 	)
 	for w := 0; w < workers; w++ {
@@ -170,14 +257,26 @@ func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
-					errs[i] = err
-					stop.Store(true)
-				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							stop.Store(true)
+							ps.capture(i, v)
+						}
+					}()
+					if err := fn(i); err != nil {
+						errs[i] = err
+						stop.Store(true)
+					}
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	// A panic outranks any error: it means a task died without even
+	// producing one, and hiding it behind a lower-index error would lose
+	// the stack.
+	ps.rethrow()
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -97,6 +97,23 @@ const (
 	// supervisor between a stage's durable action and the manifest line
 	// that acknowledges it — the transition recovery must re-derive.
 	FaultManifestAppend Fault = "pipeline/manifest-append"
+	// FaultDistLease fires in the sweep coordinator's lease handler
+	// before a cell is granted, with the requesting worker id as payload.
+	// A failing hook makes lease requests error (503 to the worker),
+	// exercising the worker's lease-retry path; a stalled hook holds the
+	// grant open so a kill lands between request and assignment.
+	FaultDistLease Fault = "dist/lease"
+	// FaultDistResult fires in the coordinator's result handler after
+	// decoding but before the result is journaled, with the cell key as
+	// payload. A failing hook drops the upload pre-durability, so the
+	// worker must retry and the journal must still record the cell
+	// exactly once.
+	FaultDistResult Fault = "dist/result"
+	// FaultDistHeartbeat fires in the coordinator's heartbeat handler,
+	// with the heartbeating worker id as payload. A persistently failing
+	// hook simulates a network partition: the worker's leases expire and
+	// its cells are reassigned while it still believes it holds them.
+	FaultDistHeartbeat Fault = "dist/heartbeat"
 )
 
 // Hook is a fault handler. Returning a non-nil error makes the injection

@@ -1,0 +1,85 @@
+package resilience
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFileLockExcludesSecondAcquirer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	release, err := AcquireFileLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcquireFileLock(path); err == nil {
+		t.Fatal("second acquire succeeded while lock held")
+	} else if !strings.Contains(err.Error(), "locked by") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := release(); err != nil {
+		t.Fatalf("double release: %v", err)
+	}
+	// Released: a fresh acquire succeeds.
+	release2, err := AcquireFileLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := release2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileLockStaleTakeover writes a lock file owned by a pid that is
+// certainly dead (a just-reaped child) and checks the next acquirer
+// takes it over instead of failing.
+func TestFileLockStaleTakeover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	cmd := exec.Command("true")
+	if err := cmd.Start(); err != nil {
+		t.Skipf("cannot start child: %v", err)
+	}
+	deadPid := cmd.Process.Pid
+	if err := cmd.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".lock", []byte(fmt.Sprintf("%d\n", deadPid)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, err := AcquireFileLock(path)
+	if err != nil {
+		t.Fatalf("stale lock not taken over: %v", err)
+	}
+	raw, err := os.ReadFile(path + ".lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(raw)); got != fmt.Sprint(os.Getpid()) {
+		t.Fatalf("lock now holds %q, want our pid", got)
+	}
+	if err := release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileLockRefusesGarbageAndSelf(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path+".lock", []byte("not-a-pid\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcquireFileLock(path); err == nil || !strings.Contains(err.Error(), "remove it manually") {
+		t.Fatalf("garbage lock file: err = %v", err)
+	}
+	if err := os.WriteFile(path+".lock", []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcquireFileLock(path); err == nil || !strings.Contains(err.Error(), "this process") {
+		t.Fatalf("self-owned lock file: err = %v", err)
+	}
+}

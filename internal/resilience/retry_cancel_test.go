@@ -1,0 +1,74 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRetryMaxElapsedCancelDuringBackoff pins the interaction between
+// the wall-clock retry cap and caller cancellation: a context cancelled
+// while Retry sleeps its backoff must surface promptly as the context
+// error, not run out the MaxElapsed budget and not be misreported as
+// the last attempt's (retryable) error.
+func TestRetryMaxElapsedCancelDuringBackoff(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 10,
+		BaseDelay:   5 * time.Second, // far longer than the test may take
+		MaxDelay:    5 * time.Second,
+		MaxElapsed:  time.Hour, // the cap must not be what stops us
+	}
+	boom := MarkRetryable(errors.New("transient"))
+	ctx, cancel := context.WithCancel(context.Background())
+
+	attempts := 0
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- Retry(ctx, p, func(int, int64) error {
+			attempts++
+			return boom
+		})
+	}()
+
+	// Let the first attempt fail and the backoff sleep begin, then pull
+	// the plug mid-sleep.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled (not the retryable attempt error)", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("Retry took %v to notice cancellation mid-backoff", elapsed)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Retry still sleeping its backoff after cancellation")
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancel landed during the first backoff)", attempts)
+	}
+}
+
+// TestRetryMaxElapsedStopsBeforeSleep complements the cancellation case:
+// with the context alive, a backoff that would overrun MaxElapsed makes
+// Retry return the last attempt's error without sleeping.
+func TestRetryMaxElapsedStopsBeforeSleep(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   200 * time.Millisecond,
+		MaxElapsed:  50 * time.Millisecond,
+	}
+	boom := MarkRetryable(errors.New("transient"))
+	start := time.Now()
+	err := Retry(context.Background(), p, func(int, int64) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the attempt error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("Retry slept %v despite MaxElapsed forbidding the backoff", elapsed)
+	}
+}
