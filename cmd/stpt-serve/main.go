@@ -12,11 +12,24 @@
 //
 // Endpoints: /query (range queries), /datasets (loaded releases),
 // /healthz (liveness), /readyz (readiness; 503 while saturated,
-// draining, or if the initial load failed), and — with -reload-token —
-// authenticated POST /-/reload for zero-downtime dataset swaps. SIGHUP
-// triggers the same reload: all -load files are re-sniffed and swapped
-// in atomically while in-flight queries finish on the old snapshot; a
-// failed reload keeps the old data serving.
+// draining, or if the initial load failed), /metrics (Prometheus text),
+// /catalog and /catalog/file (the replication control plane), and —
+// with -reload-token — authenticated POST /-/reload for zero-downtime
+// dataset swaps. SIGHUP triggers the same reload: all -load files are
+// re-sniffed and swapped in atomically while in-flight queries finish
+// on the old snapshot; a failed reload keeps the old data serving.
+//
+// Replica mode: -follow <peer-url> -data-dir <dir> turns the daemon
+// into a follower that anti-entropy-syncs the peer's release catalog
+// with resumable, checksum-verified downloads and serves the same
+// answers. A follower whose peer is unreachable keeps serving its last
+// good generation (degraded: /readyz reports staleness and every
+// response carries X-STPT-Staleness) and latches healthy when the sync
+// catches up:
+//
+//	stpt-serve -load ca=ca-release.csv -addr :8080                 # leader
+//	stpt-serve -follow http://leader:8080 -data-dir /var/stpt -addr :8081
+//	stpt-serve -follow http://leader:8080 -data-dir /var/stpt2 -addr :8082
 package main
 
 import (
@@ -48,14 +61,20 @@ func main() {
 		chaos      = flag.String("chaos", "", "fault-injection spec for robustness testing, e.g. slow=50ms,panic=100 (see internal/serve.ChaosInjector)")
 		reloadTok  = flag.String("reload-token", "", "bearer token enabling authenticated POST /-/reload (empty = endpoint disabled; SIGHUP reload always works)")
 		pprofAddr  = flag.String("pprof-addr", "", "listen address for the net/http/pprof debug surface (empty = disabled); keep it on a loopback or otherwise private interface")
+		follow     = flag.String("follow", "", "peer URL to sync releases from (replica mode); requires -data-dir")
+		dataDir    = flag.String("data-dir", "", "directory a follower installs synced releases into")
+		syncEvery  = flag.Duration("sync-interval", 2*time.Second, "anti-entropy period in -follow mode")
 	)
 	flag.Func("load", "release to serve as name=path (repeatable); path is a stpt-run cell CSV or a stpt-datagen household CSV", func(v string) error {
 		loads = append(loads, v)
 		return nil
 	})
 	flag.Parse()
-	if len(loads) == 0 {
-		fatalf("no releases: pass at least one -load name=path")
+	if *follow == "" && len(loads) == 0 {
+		fatalf("no releases: pass at least one -load name=path (or -follow a peer)")
+	}
+	if *follow != "" && *dataDir == "" {
+		fatalf("-follow requires -data-dir")
 	}
 	if a, err := profiling.Serve(*pprofAddr); err != nil {
 		fatalf("%v", err)
@@ -75,8 +94,12 @@ func main() {
 	// All-or-nothing: either every release loads or none is swapped in. A
 	// failed initial load does NOT exit — the daemon serves /readyz 503
 	// until a SIGHUP or POST /-/reload brings fixed files in, so a bad
-	// deploy degrades to "not ready" instead of crash-looping.
-	initialErr := store.LoadAll(specs)
+	// deploy degrades to "not ready" instead of crash-looping. A follower
+	// with no -load starts empty and is not-ready until its first sync.
+	var initialErr error
+	if len(specs) > 0 {
+		initialErr = store.LoadAll(specs)
+	}
 	if initialErr != nil {
 		fmt.Fprintf(os.Stderr, "stpt-serve: initial load failed (serving not-ready until reload): %v\n", initialErr)
 	} else {
@@ -108,6 +131,24 @@ func main() {
 		ReloadToken:    *reloadTok,
 	})
 	s.MarkInitialLoad(initialErr)
+
+	if *follow != "" {
+		fl, err := serve.NewFollower(store, serve.FollowerConfig{
+			Peer:     *follow,
+			Dir:      *dataDir,
+			Interval: *syncEvery,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		s.SetFollower(fl)
+		go fl.Run(ctx)
+		fmt.Fprintf(os.Stderr, "stpt-serve: following %s (anti-entropy every %s, data dir %s)\n",
+			*follow, *syncEvery, *dataDir)
+	}
 
 	// SIGHUP: the classic zero-downtime reload bell. In-flight queries
 	// finish on the old snapshot; a failed reload keeps the old data.

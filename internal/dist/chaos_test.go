@@ -392,14 +392,14 @@ func TestServeRejectsGarbage(t *testing.T) {
 	_, srv := newTestServer(t, ctx, 1, time.Minute)
 	cl := newTestClient(t, srv, "probe")
 	for _, body := range []any{nil, "not an object", map[string]any{"worker": ""}} {
-		if _, err := cl.post(ctx, "/lease", body); err == nil {
+		if _, err := cl.post(ctx, resilience.Policy{}, "/lease", body); err == nil {
 			t.Errorf("lease body %v accepted", body)
 		}
 	}
-	if _, err := cl.post(ctx, "/result", Result{Worker: "w", LeaseID: "x", Key: "k"}); err == nil {
+	if _, err := cl.post(ctx, resilience.Policy{}, "/result", Result{Worker: "w", LeaseID: "x", Key: "k"}); err == nil {
 		t.Error("result with neither value nor err accepted")
 	}
-	if _, err := cl.post(ctx, "/heartbeat", Heartbeat{Worker: "w"}); err == nil {
+	if _, err := cl.post(ctx, resilience.Policy{}, "/heartbeat", Heartbeat{Worker: "w"}); err == nil {
 		t.Error("heartbeat without lease/key accepted")
 	}
 }

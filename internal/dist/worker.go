@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"time"
 
 	"repro/internal/resilience"
@@ -74,53 +73,50 @@ func (c *Client) httpClient() *http.Client {
 // Never retryable — the coordinator has spoken.
 var errConflict = errors.New("dist: conflict")
 
-// post sends one JSON request and decodes the reply body. Transport
-// errors and 5xx come back marked retryable (503 honours Retry-After);
-// 409 maps to errConflict; other statuses are terminal.
-func (c *Client) post(ctx context.Context, path string, body any) ([]byte, error) {
+// post sends one JSON request under the given policy and decodes the
+// reply body via the shared resilience.RetryHTTP loop. Transport errors
+// and 5xx are retried (503 honours Retry-After); 409 maps to
+// errConflict; other statuses are terminal. The reply body is fully
+// read before any retry decision, so a retried attempt never resends
+// after handing bytes to the caller.
+func (c *Client) post(ctx context.Context, p resilience.Policy, path string, body any) ([]byte, error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return nil, fmt.Errorf("dist: encoding %s request: %w", path, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(raw))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, resilience.MarkRetryable(fmt.Errorf("dist: %s: %w", path, err))
-	}
-	defer resp.Body.Close()
-	reply, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return nil, resilience.MarkRetryable(fmt.Errorf("dist: reading %s reply: %w", path, err))
-	}
-	switch {
-	case resp.StatusCode < 300:
-		return reply, nil
-	case resp.StatusCode == http.StatusConflict:
-		return nil, fmt.Errorf("%w: %s", errConflict, bytes.TrimSpace(reply))
-	case resp.StatusCode >= 500:
-		err := fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(reply))
-		if after, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && after > 0 {
-			return nil, resilience.MarkRetryAfter(err, time.Duration(after)*time.Second)
-		}
-		return nil, resilience.MarkRetryable(err)
-	default:
-		return nil, fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(reply))
-	}
+	var reply []byte
+	_, err = resilience.RetryHTTP(ctx, c.httpClient(), p, "dist: "+path,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(raw))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			b, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+			if err != nil {
+				return resilience.MarkRetryable(fmt.Errorf("dist: reading %s reply: %w", path, err))
+			}
+			switch {
+			case resp.StatusCode < 300:
+				reply = b
+				return nil
+			case resp.StatusCode == http.StatusConflict:
+				return fmt.Errorf("%w: %s", errConflict, bytes.TrimSpace(b))
+			default:
+				return resilience.ClassifyStatus(resp,
+					fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(b)))
+			}
+		})
+	return reply, err
 }
 
-// postRetry wraps post with the client's retry policy.
+// postRetry posts under the client's full retry policy; bare post with
+// a zero policy is the single-attempt variant heartbeats use.
 func (c *Client) postRetry(ctx context.Context, path string, body any) ([]byte, error) {
-	var reply []byte
-	err := resilience.Retry(ctx, c.Retry, func(int, int64) error {
-		var perr error
-		reply, perr = c.post(ctx, path, body)
-		return perr
-	})
-	return reply, err
+	return c.post(ctx, c.Retry, path, body)
 }
 
 // Join performs the handshake and returns the sweep description.
@@ -262,7 +258,7 @@ func (c *Client) heartbeatLoop(ctx context.Context, cancel context.CancelCauseFu
 			// A single heartbeat rides on best effort (one attempt, no
 			// retry): the next tick is the retry, and the TTL gives us
 			// several ticks of slack before the lease actually lapses.
-			if _, err := c.post(ctx, "/heartbeat", hb); err != nil && errors.Is(err, errConflict) {
+			if _, err := c.post(ctx, resilience.Policy{}, "/heartbeat", hb); err != nil && errors.Is(err, errConflict) {
 				cancel(fmt.Errorf("heartbeat for %s: %w", grant.Key, err))
 				return
 			}

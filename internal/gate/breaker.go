@@ -1,0 +1,105 @@
+package gate
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-replica circuit breaker. Closed passes everything
+// and counts consecutive failures; threshold consecutive failures open
+// the circuit; after cooldown the circuit goes half-open and admits
+// exactly one probe request — its outcome closes the circuit again or
+// re-opens it for another cooldown. The point is to stop burning retry
+// budget (and adding latency) on a replica that is plainly down, while
+// still discovering recovery without waiting for the health prober.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	threshold int
+	cooldown  time.Duration
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent through the circuit now.
+// In half-open state only a single in-flight probe is admitted; callers
+// that got true MUST call done with the outcome.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// done records an attempt's outcome.
+func (b *breaker) done(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.probing = false
+		if ok {
+			b.state = stateClosed
+			b.failures = 0
+		} else {
+			b.state = stateOpen
+			b.openedAt = now
+		}
+		return
+	}
+	if ok {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == stateClosed && b.failures >= b.threshold {
+		b.state = stateOpen
+		b.openedAt = now
+	}
+}
+
+// current returns the state for introspection (metrics, logs).
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

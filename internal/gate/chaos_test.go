@@ -1,0 +1,505 @@
+package gate
+
+// The replication chaos drill: real follower processes are SIGKILLed
+// mid-sync and mid-query-load, a follower is partitioned from the
+// leader and healed, and transfer corruption is injected — while a
+// continuous query load runs through the gateway. The claims under
+// test are the ISSUE's acceptance bar: zero non-200s through the
+// gateway for the whole drill, byte-identical answers across replicas
+// once converged, and convergence of every follower to the leader's
+// generation after every fault.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/grid"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+const (
+	repChildEnv = "STPT_REPLICA_CHILD"
+	repPeerEnv  = "STPT_REPLICA_PEER"
+	repDirEnv   = "STPT_REPLICA_DIR"
+	repAddrEnv  = "STPT_REPLICA_ADDR"
+	repReadyEnv = "STPT_REPLICA_READY"
+	repStallEnv = "STPT_REPLICA_STALL"
+)
+
+// TestReplicaChild is the re-exec child: a real follower replica
+// process. With a stall marker configured it hangs mid-transfer (after
+// at least one chunk is on disk) so the parent can SIGKILL it with a
+// partial download in place.
+func TestReplicaChild(t *testing.T) {
+	if os.Getenv(repChildEnv) == "" {
+		t.Skip("not a replica child")
+	}
+	peer, dir, addr := os.Getenv(repPeerEnv), os.Getenv(repDirEnv), os.Getenv(repAddrEnv)
+	ready, stallMarker := os.Getenv(repReadyEnv), os.Getenv(repStallEnv)
+	ctx := context.Background()
+	if stallMarker != "" {
+		var stalled atomic.Bool
+		in := resilience.NewInjector().On(resilience.FaultReplicaFetch, func(ctx context.Context, payload any) error {
+			ch := payload.(*serve.FetchChunk)
+			if ch.Offset > 0 && stalled.CompareAndSwap(false, true) {
+				if err := os.WriteFile(stallMarker, []byte(ch.Name), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "child stall marker:", err)
+					os.Exit(3)
+				}
+				select {} // hang mid-transfer until SIGKILLed
+			}
+			return nil
+		})
+		ctx = resilience.WithInjector(ctx, in)
+	}
+	store := serve.NewStore()
+	f, err := serve.NewFollower(store, serve.FollowerConfig{
+		Peer:     peer,
+		Dir:      dir,
+		Interval: 50 * time.Millisecond,
+		Retry:    resilience.Policy{MaxAttempts: 2, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child follower:", err)
+		os.Exit(3)
+	}
+	srv := serve.New(ctx, store, serve.Config{})
+	srv.SetFollower(f)
+	go f.Run(ctx)
+	err = srv.ListenAndRun(ctx, addr, func(a net.Addr) {
+		if werr := os.WriteFile(ready, []byte(a.String()), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "child ready marker:", werr)
+			os.Exit(3)
+		}
+	})
+	fmt.Fprintln(os.Stderr, "child server exited:", err)
+	os.Exit(3)
+}
+
+// spawnReplica re-execs this test binary as a follower process.
+func spawnReplica(t *testing.T, peer, dir, addr, ready, stall string) (*exec.Cmd, chan error, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestReplicaChild$")
+	cmd.Env = append(os.Environ(),
+		repChildEnv+"=1", repPeerEnv+"="+peer, repDirEnv+"="+dir,
+		repAddrEnv+"="+addr, repReadyEnv+"="+ready, repStallEnv+"="+stall)
+	var childLog bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &childLog, &childLog
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	t.Cleanup(func() { cmd.Process.Kill() })
+	return cmd, done, &childLog
+}
+
+func waitFile(t *testing.T, path string, done chan error, childLog *bytes.Buffer) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("child exited before %s (%v)\n%s", filepath.Base(path), err, childLog.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s\n%s", filepath.Base(path), childLog.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// freeAddr grabs an ephemeral port for a child to bind. The tiny window
+// between Close and the child's Listen is benign on a quiet test host.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// flakyProxy is a toggleable TCP forwarder: the partition switch. When
+// partitioned it closes live connections and refuses new ones, exactly
+// what a severed network path looks like to the follower behind it.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+	drop   atomic.Bool
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+func newFlakyProxy(t *testing.T, targetURL string) *flakyProxy {
+	t.Helper()
+	u, err := url.Parse(targetURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, target: u.Host, conns: make(map[net.Conn]struct{})}
+	go p.accept()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *flakyProxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+func (p *flakyProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.drop.Load() {
+			c.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns[c] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.mu.Unlock()
+		go p.pipe(c, up)
+		go p.pipe(up, c)
+	}
+}
+
+func (p *flakyProxy) pipe(dst, src net.Conn) {
+	io.Copy(dst, src)
+	dst.Close()
+	src.Close()
+	p.mu.Lock()
+	delete(p.conns, dst)
+	delete(p.conns, src)
+	p.mu.Unlock()
+}
+
+// Partition flips the switch; severing also kills live connections so
+// in-flight syncs die mid-body rather than finishing politely.
+func (p *flakyProxy) Partition(on bool) {
+	p.drop.Store(on)
+	if on {
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// readyzDoc decodes a replica's /readyz body.
+type readyzDoc struct {
+	Status     string  `json:"status"`
+	Generation uint64  `json:"generation"`
+	Staleness  float64 `json:"staleness_seconds"`
+	Sync       *struct {
+		SyncedGeneration uint64 `json:"synced_generation"`
+		CorruptRefused   uint64 `json:"corrupt_refused"`
+	} `json:"sync"`
+}
+
+func readyz(base string) (int, readyzDoc, error) {
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		return 0, readyzDoc{}, err
+	}
+	defer resp.Body.Close()
+	var doc readyzDoc
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return resp.StatusCode, readyzDoc{}, fmt.Errorf("readyz body %q: %w", b, err)
+	}
+	return resp.StatusCode, doc, nil
+}
+
+// waitSynced polls a replica until it reports ready with the wanted
+// synced generation.
+func waitSynced(t *testing.T, base string, gen uint64, done chan error, childLog *bytes.Buffer) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if done != nil {
+			select {
+			case err := <-done:
+				t.Fatalf("replica died while waiting for sync (%v)\n%s", err, childLog.String())
+			default:
+			}
+		}
+		status, doc, err := readyz(base)
+		if err == nil && status == http.StatusOK && doc.Status == "ready" &&
+			doc.Sync != nil && doc.Sync.SyncedGeneration == gen {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	status, doc, err := readyz(base)
+	t.Fatalf("replica %s never synced generation %d (last: status=%d doc=%+v err=%v)", base, gen, status, doc, err)
+}
+
+// drillMatrix fills a matrix big enough that its CSV spans several
+// fetch chunks, so mid-transfer kills land with partial files on disk.
+func drillMatrix(scale float64) *grid.Matrix {
+	m := grid.NewMatrix(32, 32, 16)
+	for i := 0; i < m.Len(); i++ {
+		m.Data()[i] = (float64(i%13) + 0.5) * scale
+	}
+	return m
+}
+
+// TestReplicationChaosDrill is the full drill. Sequence:
+//
+//  1. Leader serves one release; follower A is SIGKILLed mid-transfer
+//     (stalled by fault injection with a partial file on disk), then
+//     restarted and must converge by resuming the download.
+//  2. Follower B syncs through a partitionable proxy; the gateway
+//     fronts all three replicas while a continuous query load runs.
+//  3. B is SIGKILLed mid-query-load and restarted: the load must see
+//     zero non-200s throughout.
+//  4. B is partitioned, the leader publishes a new generation: A
+//     converges, B keeps serving the old generation as degraded
+//     (staleness reported on /readyz and X-STPT-Staleness).
+//  5. The partition heals: B converges; answers across all three
+//     replicas are byte-identical.
+func TestReplicationChaosDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drill skipped in -short")
+	}
+	work := t.TempDir()
+	relPath := filepath.Join(work, "rel.csv")
+	m1 := drillMatrix(1)
+	if err := datasets.SaveMatrixCSVFile(context.Background(), relPath, m1); err != nil {
+		t.Fatal(err)
+	}
+
+	store := serve.NewStore()
+	if err := store.LoadAll([]serve.LoadSpec{{Name: "rel", Path: relPath}}); err != nil {
+		t.Fatal(err)
+	}
+	leaderSrv := serve.New(context.Background(), store, serve.Config{ReloadToken: "drill"})
+	leaderTS := httptest.NewServer(leaderSrv.Handler())
+	defer leaderTS.Close()
+	leaderGen := store.Generation()
+
+	// --- Phase 1: follower A killed mid-transfer, restarted, converges.
+	dirA := filepath.Join(work, "a")
+	addrA := freeAddr(t)
+	readyA, stallA := filepath.Join(work, "a.ready"), filepath.Join(work, "a.stall")
+	cmdA, doneA, logA := spawnReplica(t, leaderTS.URL, dirA, addrA, readyA, stallA)
+	waitFile(t, stallA, doneA, logA)
+	if err := cmdA.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-doneA
+	// The kill landed mid-transfer: a partial download is on disk.
+	parts, err := os.ReadDir(filepath.Join(dirA, ".partial"))
+	if err != nil || len(parts) == 0 {
+		t.Fatalf("no partial file after mid-transfer SIGKILL (err %v)", err)
+	}
+	if fi, err := parts[0].Info(); err != nil || fi.Size() == 0 {
+		t.Fatalf("partial file empty after mid-transfer kill: %v %v", fi, err)
+	}
+	os.Remove(readyA)
+	_, doneA2, logA2 := spawnReplica(t, leaderTS.URL, dirA, addrA, readyA, "")
+	waitFile(t, readyA, doneA2, logA2)
+	waitSynced(t, "http://"+addrA, leaderGen, doneA2, logA2)
+
+	// --- Phase 2: follower B behind the partition proxy; gateway up.
+	proxy := newFlakyProxy(t, leaderTS.URL)
+	dirB := filepath.Join(work, "b")
+	addrB := freeAddr(t)
+	readyB := filepath.Join(work, "b.ready")
+	cmdB, doneB, logB := spawnReplica(t, proxy.URL(), dirB, addrB, readyB, "")
+	waitFile(t, readyB, doneB, logB)
+	waitSynced(t, "http://"+addrB, leaderGen, doneB, logB)
+
+	g, err := New(Config{
+		Replicas:      []string{leaderTS.URL, "http://" + addrA, "http://" + addrB},
+		ProbeInterval: 50 * time.Millisecond,
+		HedgeAfter:    250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pctx, pcancel := context.WithCancel(context.Background())
+	defer pcancel()
+	g.StartProbes(pctx)
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	// Continuous query load through the gateway. Every response must be
+	// 200 with a sum from a real generation — old or new is fine while a
+	// publish propagates, but never an error and never garbage.
+	m2 := drillMatrix(3)
+	okSums := map[float64]bool{m1.Total(): true, m2.Total(): true}
+	queryPath := "/query?d=rel&x0=0&x1=31&y0=0&y1=31&t0=0&t1=15"
+	var (
+		loadWG   sync.WaitGroup
+		stop     = make(chan struct{})
+		requests atomic.Int64
+		failures atomic.Int64
+		firstErr atomic.Pointer[string]
+	)
+	recordFailure := func(msg string) {
+		failures.Add(1)
+		firstErr.CompareAndSwap(nil, &msg)
+	}
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		client := &http.Client{Timeout: 10 * time.Second}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			requests.Add(1)
+			resp, err := client.Get(gw.URL + queryPath)
+			if err != nil {
+				recordFailure(fmt.Sprintf("transport: %v", err))
+				continue
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				recordFailure(fmt.Sprintf("HTTP %d: %s", resp.StatusCode, body))
+				continue
+			}
+			var qr struct {
+				Sum float64 `json:"sum"`
+			}
+			if err := json.Unmarshal(body, &qr); err != nil || !okSums[qr.Sum] {
+				recordFailure(fmt.Sprintf("bad answer %s (err %v)", body, err))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// --- Phase 3: SIGKILL B mid-query-load, restart, reconverge.
+	time.Sleep(200 * time.Millisecond) // let load flow through all replicas
+	t.Log("drill: killing follower B mid-query-load")
+	if err := cmdB.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-doneB
+	time.Sleep(300 * time.Millisecond) // queries keep flowing with B dead
+	os.Remove(readyB)
+	_, doneB2, logB2 := spawnReplica(t, proxy.URL(), dirB, addrB, readyB, "")
+	waitFile(t, readyB, doneB2, logB2)
+	waitSynced(t, "http://"+addrB, leaderGen, doneB2, logB2)
+
+	// --- Phase 4: partition B, publish a new generation on the leader.
+	t.Log("drill: partitioning follower B, publishing a new generation")
+	proxy.Partition(true)
+	if err := datasets.SaveMatrixCSVFile(context.Background(), relPath, m2); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, leaderTS.URL+"/-/reload", nil)
+	req.Header.Set("Authorization", "Bearer drill")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader reload: %d", resp.StatusCode)
+	}
+	newGen := store.Generation()
+	waitSynced(t, "http://"+addrA, newGen, doneA2, logA2)
+
+	// B is behind the partition: still answering, visibly degraded.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, doc, err := readyz("http://" + addrB)
+		if err == nil && status == http.StatusOK && doc.Status == "degraded" && doc.Staleness > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partitioned B never reported degraded (last: %d %+v %v)", status, doc, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	bresp, err := http.Get("http://" + addrB + queryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbody, _ := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded B refused a query: %d %s", bresp.StatusCode, bbody)
+	}
+	if bresp.Header.Get("X-STPT-Staleness") == "" || bresp.Header.Get("X-STPT-Staleness") == "0.000" {
+		t.Fatalf("degraded B served without a staleness mark: %q", bresp.Header.Get("X-STPT-Staleness"))
+	}
+
+	// --- Phase 5: heal; everyone converges; answers byte-identical.
+	t.Log("drill: healing the partition")
+	proxy.Partition(false)
+	waitSynced(t, "http://"+addrB, newGen, doneB2, logB2)
+
+	answers := make(map[string][]byte)
+	for _, base := range []string{leaderTS.URL, "http://" + addrA, "http://" + addrB} {
+		r, err := http.Get(base + queryPath)
+		if err != nil {
+			t.Fatalf("converged query to %s: %v", base, err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("converged query to %s: %d %s", base, r.StatusCode, b)
+		}
+		answers[base] = b
+	}
+	var ref []byte
+	for _, b := range answers {
+		ref = b
+		break
+	}
+	for base, b := range answers {
+		if !bytes.Equal(b, ref) {
+			t.Fatalf("divergent answers after convergence:\n%s: %s\nvs: %s", base, b, ref)
+		}
+	}
+
+	close(stop)
+	loadWG.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d/%d queries through the gateway failed during the drill; first: %s",
+			n, requests.Load(), *firstErr.Load())
+	}
+	if requests.Load() < 50 {
+		t.Fatalf("only %d queries ran during the drill — load loop did not exercise the chaos window", requests.Load())
+	}
+	t.Logf("drill: %d queries through the gateway, zero non-200s", requests.Load())
+}

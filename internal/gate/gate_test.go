@@ -1,0 +1,325 @@
+package gate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/reqid"
+)
+
+// fakeReplica is a scriptable backend: an answer body, a failure switch,
+// an optional stall, and counters for attempts and the request ids seen.
+type fakeReplica struct {
+	ts       *httptest.Server
+	fail     atomic.Bool
+	stall    atomic.Int64 // nanoseconds to sleep before answering
+	attempts atomic.Int64
+	lastID   atomic.Pointer[string]
+	body     string
+}
+
+func newFakeReplica(t *testing.T, body string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{body: body}
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			if f.fail.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte(`{"status":"ready"}`))
+			return
+		}
+		f.attempts.Add(1)
+		id := r.Header.Get(reqid.Header)
+		f.lastID.Store(&id)
+		if d := f.stall.Load(); d > 0 {
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if f.fail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"injected"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(f.body))
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func newGateway(t *testing.T, cfg Config, reps ...*fakeReplica) (*Gateway, *httptest.Server) {
+	t.Helper()
+	for _, r := range reps {
+		cfg.Replicas = append(cfg.Replicas, r.ts.URL)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+// TestFailoverOnReplicaFailure: a failing replica costs a retry, not an
+// error — the second replica answers and the client never sees the 500.
+func TestFailoverOnReplicaFailure(t *testing.T) {
+	bad := newFakeReplica(t, `{"sum":1}`)
+	good := newFakeReplica(t, `{"sum":1}`)
+	bad.fail.Store(true)
+	_, ts := newGateway(t, Config{}, bad, good)
+
+	for i := 0; i < 4; i++ {
+		resp, body := getBody(t, ts.URL+"/query?d=rel")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s — failover leaked a failure", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-STPT-Replica"); got != good.ts.URL {
+			t.Fatalf("request %d answered by %q, want the good replica", i, got)
+		}
+	}
+	if bad.attempts.Load() == 0 {
+		t.Fatal("bad replica was never tried — round-robin is not rotating")
+	}
+}
+
+// TestAllReplicasDown503: only when every replica fails does the client
+// see an error — 503, Retry-After, typed JSON body.
+func TestAllReplicasDown503(t *testing.T) {
+	a := newFakeReplica(t, `{}`)
+	b := newFakeReplica(t, `{}`)
+	a.fail.Store(true)
+	b.fail.Store(true)
+	_, ts := newGateway(t, Config{}, a, b)
+
+	resp, body := getBody(t, ts.URL+"/query?d=rel")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var eb struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Code != "all_replicas_down" {
+		t.Fatalf("503 body %q: want typed JSON with code=all_replicas_down (err %v)", body, err)
+	}
+}
+
+// TestClientErrorsRelayedNotRetried: a 400 is the answer, not a replica
+// fault — exactly one attempt, relayed verbatim.
+func TestClientErrorsRelayedNotRetried(t *testing.T) {
+	a := newFakeReplica(t, `{}`)
+	b := newFakeReplica(t, `{}`)
+	a.ts.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.Write([]byte(`{}`))
+			return
+		}
+		a.attempts.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"missing parameter x0"}`))
+	}))
+	defer bad.Close()
+
+	g, err := New(Config{Replicas: []string{bad.URL, b.ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp, body := getBody(t, ts.URL+"/query")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "missing parameter") {
+		t.Fatalf("got %d %q, want the replica's 400 relayed", resp.StatusCode, body)
+	}
+	if got := a.attempts.Load() + b.attempts.Load(); got != 1 {
+		t.Fatalf("4xx consumed %d attempts, want 1 (no retry on client errors)", got)
+	}
+}
+
+// TestHedgedReadWinsAndPropagatesID: a slow first replica triggers a
+// hedge; the fast hedge answers, and both attempts carried the same
+// request id the client got back — the satellite's propagation-through-
+// one-hedged-retry property.
+func TestHedgedReadWinsAndPropagatesID(t *testing.T) {
+	slow := newFakeReplica(t, `{"sum":7}`)
+	fast := newFakeReplica(t, `{"sum":7}`)
+	slow.stall.Store(int64(400 * time.Millisecond))
+	g, ts := newGateway(t, Config{HedgeAfter: 30 * time.Millisecond}, slow, fast)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/query?d=rel", nil)
+	req.Header.Set(reqid.Header, "hedge-test-42")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	elapsed := time.Since(start)
+
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-STPT-Replica") != fast.ts.URL {
+		t.Fatalf("answered by %q, want the fast hedge", resp.Header.Get("X-STPT-Replica"))
+	}
+	if elapsed >= 400*time.Millisecond {
+		t.Fatalf("took %s — the hedge did not short-circuit the slow replica", elapsed)
+	}
+	if resp.Header.Get(reqid.Header) != "hedge-test-42" {
+		t.Fatalf("response id %q, want the client's", resp.Header.Get(reqid.Header))
+	}
+	for _, rep := range []*fakeReplica{slow, fast} {
+		if idp := rep.lastID.Load(); idp == nil || *idp != "hedge-test-42" {
+			t.Fatalf("replica %s saw id %v, want hedge-test-42 on both the original and the hedge", rep.ts.URL, idp)
+		}
+	}
+	if g.met.hedges.Value() == 0 {
+		t.Fatal("hedge counter did not move")
+	}
+}
+
+// TestBreakerLifecycle: consecutive failures open the circuit, the
+// cooldown admits a half-open probe, and a success closes it again.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Now()
+	b := newBreaker(3, time.Second)
+	for i := 0; i < 3; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.done(false, now)
+	}
+	if b.current() != stateOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.current())
+	}
+	if b.allow(now.Add(100 * time.Millisecond)) {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	probeAt := now.Add(2 * time.Second)
+	if !b.allow(probeAt) {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.current() != stateHalfOpen {
+		t.Fatalf("state %v, want half-open", b.current())
+	}
+	if b.allow(probeAt) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.done(true, probeAt)
+	if b.current() != stateClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.current())
+	}
+
+	// And the re-open path: a failed probe goes straight back to open.
+	for i := 0; i < 3; i++ {
+		b.allow(probeAt)
+		b.done(false, probeAt)
+	}
+	b.allow(probeAt.Add(2 * time.Second))
+	b.done(false, probeAt.Add(2*time.Second))
+	if b.current() != stateOpen {
+		t.Fatalf("state %v after failed probe, want open", b.current())
+	}
+}
+
+// TestProbesFlipHealthAndReadyz: the prober marks a dead replica down
+// (readyz shows it), and up again once it recovers.
+func TestProbesFlipHealthAndReadyz(t *testing.T) {
+	a := newFakeReplica(t, `{}`)
+	b := newFakeReplica(t, `{}`)
+	g, ts := newGateway(t, Config{ProbeInterval: 20 * time.Millisecond}, a, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g.StartProbes(ctx)
+
+	a.fail.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for g.available() != 1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g.available() != 1 {
+		t.Fatalf("available %d after replica a failed, want 1", g.available())
+	}
+	resp, body := getBody(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"available":1`) {
+		t.Fatalf("readyz with one replica down: %d %s", resp.StatusCode, body)
+	}
+
+	a.fail.Store(false)
+	for g.available() != 2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g.available() != 2 {
+		t.Fatalf("available %d after recovery, want 2", g.available())
+	}
+}
+
+// TestGatewayMetrics: /metrics exposes the routing counters.
+func TestGatewayMetrics(t *testing.T) {
+	a := newFakeReplica(t, `{"sum":1}`)
+	_, ts := newGateway(t, Config{}, a)
+	getBody(t, ts.URL+"/query?d=rel")
+
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`stpt_gate_requests_total{code="200"}`,
+		"stpt_gate_replicas_available 1",
+		"stpt_gate_request_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestConfigValidation: no replicas or garbage URLs are refused.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no replicas succeeded")
+	}
+	if _, err := New(Config{Replicas: []string{"not a url"}}); err == nil {
+		t.Fatal("New with a relative replica URL succeeded")
+	}
+	if _, err := New(Config{Replicas: []string{fmt.Sprintf("http://127.0.0.1:%d", 1)}}); err != nil {
+		t.Fatalf("valid config refused: %v", err)
+	}
+}

@@ -2,10 +2,8 @@ package ingest
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"time"
 
 	"repro/internal/resilience"
@@ -27,53 +25,25 @@ func DefaultSourcePolicy() resilience.Policy {
 // mid-body is NOT retried here — by then readings may already be
 // committed, and re-streaming from offset zero would double-count them.
 // The caller's WAL-acknowledged prefix is durable either way; only the
-// unacknowledged tail needs a resend.
+// unacknowledged tail needs a resend. The bounded retry loop itself is
+// resilience.RetryHTTP, shared with the sweep workers and replica sync.
 func FetchHTTP(ctx context.Context, client *http.Client, url string, p resilience.Policy) (io.ReadCloser, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	var body io.ReadCloser
-	err := resilience.Retry(ctx, p, func(attempt int, _ int64) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-		if err != nil {
-			return err // malformed URL: retrying cannot help
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return resilience.MarkRetryable(fmt.Errorf("ingest: fetching %s: %w", url, err))
-		}
-		if resp.StatusCode == http.StatusOK {
-			body = resp.Body
-			return nil
-		}
-		// Drain so the connection can be reused across attempts.
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		resp.Body.Close()
-		serr := fmt.Errorf("ingest: fetching %s: %s", url, resp.Status)
-		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
-			if after, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
-				return resilience.MarkRetryAfter(serr, after)
+	op := "ingest: fetching " + url
+	resp, err := resilience.RetryHTTP(ctx, client, p, op,
+		func(ctx context.Context) (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		},
+		func(resp *http.Response) error {
+			if resp.StatusCode == http.StatusOK {
+				return nil
 			}
-			return resilience.MarkRetryable(serr)
-		}
-		return serr // 4xx: the request is wrong, not the weather
-	})
+			return resilience.StatusError(resp, op)
+		})
 	if err != nil {
 		return nil, err
 	}
-	return body, nil
-}
-
-// parseRetryAfter reads the delay-seconds form of Retry-After. The
-// HTTP-date form is deliberately unsupported: it needs wall-clock
-// arithmetic, and every server this pipeline talks to sends seconds.
-func parseRetryAfter(h string) (time.Duration, bool) {
-	if h == "" {
-		return 0, false
-	}
-	secs, err := strconv.Atoi(h)
-	if err != nil || secs < 0 {
-		return 0, false
-	}
-	return time.Duration(secs) * time.Second, true
+	return resp.Body, nil
 }

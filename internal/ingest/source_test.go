@@ -83,16 +83,18 @@ func TestFetchHTTPBoundedAttempts(t *testing.T) {
 	}
 }
 
-// TestParseRetryAfter covers the seconds form and the refusals.
+// TestParseRetryAfter covers the seconds form and the refusals. The
+// parser now lives in resilience (shared with dist and replica sync);
+// this pins the ingest-visible contract.
 func TestParseRetryAfter(t *testing.T) {
 	for h, want := range map[string]time.Duration{"0": 0, "7": 7 * time.Second} {
-		if d, ok := parseRetryAfter(h); !ok || d != want {
-			t.Errorf("parseRetryAfter(%q) = %v, %v", h, d, ok)
+		if d, ok := resilience.ParseRetryAfter(h); !ok || d != want {
+			t.Errorf("ParseRetryAfter(%q) = %v, %v", h, d, ok)
 		}
 	}
 	for _, h := range []string{"", "-1", "soon", "Tue, 29 Oct 2024 16:56:32 GMT"} {
-		if _, ok := parseRetryAfter(h); ok {
-			t.Errorf("parseRetryAfter(%q) accepted", h)
+		if _, ok := resilience.ParseRetryAfter(h); ok {
+			t.Errorf("ParseRetryAfter(%q) accepted", h)
 		}
 	}
 }

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionFormat pins the text format a Prometheus scraper parses:
+// HELP/TYPE headers, deterministic series order, cumulative buckets.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stpt_shed_total", "Requests shed.")
+	v := r.CounterVec("stpt_requests_total", "Requests by code.", "code")
+	g := r.Gauge("stpt_inflight", "Admitted requests.")
+	r.GaugeFunc("stpt_generation", "Serving generation.", func() float64 { return 42 })
+	h := r.Histogram("stpt_latency_seconds", "Latency.", []float64{0.1, 1})
+
+	c.Add(3)
+	v.With("200").Inc()
+	v.With("200").Inc()
+	v.With("503").Inc()
+	g.Set(2.5)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	got := b.String()
+	for _, want := range []string{
+		"# HELP stpt_shed_total Requests shed.\n# TYPE stpt_shed_total counter\nstpt_shed_total 3\n",
+		"# TYPE stpt_requests_total counter\nstpt_requests_total{code=\"200\"} 2\nstpt_requests_total{code=\"503\"} 1\n",
+		"# TYPE stpt_inflight gauge\nstpt_inflight 2.5\n",
+		"stpt_generation 42\n",
+		"stpt_latency_seconds_bucket{le=\"0.1\"} 1\n",
+		"stpt_latency_seconds_bucket{le=\"1\"} 2\n",
+		"stpt_latency_seconds_bucket{le=\"+Inf\"} 3\n",
+		"stpt_latency_seconds_sum 5.55\n",
+		"stpt_latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestHandler: the scrape endpoint answers with the versioned text
+// content type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+// TestConcurrentObserve: instruments are safe under concurrent writers
+// (the race detector is the real assertion here).
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	v := r.CounterVec("v_total", "V.", "code")
+	h := r.Histogram("h_seconds", "H.", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				v.With(fmt.Sprint(200 + i%3)).Inc()
+				h.Observe(float64(j) / 100)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestDuplicateRegistrationPanics: two instruments under one name would
+// render an unparseable exposition, so the registry refuses loudly.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "second")
+}

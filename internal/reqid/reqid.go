@@ -1,0 +1,81 @@
+// Package reqid generates and propagates X-Request-ID correlation ids
+// across the serving tier: the gateway mints (or adopts) an id per
+// inbound request, stamps it on every replica attempt — including
+// hedges and retries, which share the original id — and every daemon
+// echoes it in the response and its structured logs, so one slow query
+// can be traced gateway → replica → answer from stderr alone.
+package reqid
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Header is the correlation-id header, chosen for what every proxy and
+// log pipeline already understands.
+const Header = "X-Request-ID"
+
+// maxLen bounds an adopted inbound id so a hostile client cannot use
+// the echo path as a log-flooding amplifier.
+const maxLen = 128
+
+var fallback atomic.Uint64
+
+// New mints a fresh id: 16 random hex bytes, or a process-unique
+// counter id if the system entropy pool is somehow unreadable.
+func New() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", fallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitize drops ids that would corrupt a log line or a header.
+func sanitize(id string) string {
+	if len(id) > maxLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' || c == ':'
+		if !ok {
+			return ""
+		}
+	}
+	return id
+}
+
+type ctxKey struct{}
+
+// FromContext returns the request's correlation id, or "".
+func FromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// WithContext attaches an id to a context.
+func WithContext(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// Middleware is the generate-or-propagate layer: a well-formed inbound
+// X-Request-ID is adopted, anything else replaced with a fresh id; the
+// id is echoed on the response, stored in the request context, and the
+// (possibly rewritten) header is left on r for any onward proxying.
+func Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitize(r.Header.Get(Header))
+		if id == "" {
+			id = New()
+		}
+		r.Header.Set(Header, id)
+		w.Header().Set(Header, id)
+		next.ServeHTTP(w, r.WithContext(WithContext(r.Context(), id)))
+	})
+}

@@ -1,0 +1,59 @@
+package reqid
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func runMiddleware(t *testing.T, inbound string) (echoed, seen string) {
+	t.Helper()
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = FromContext(r.Context())
+		if hdr := r.Header.Get(Header); hdr != seen {
+			t.Errorf("request header %q != context id %q", hdr, seen)
+		}
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/query", nil)
+	if inbound != "" {
+		req.Header.Set(Header, inbound)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Header().Get(Header), seen
+}
+
+// TestPropagateInbound: a well-formed client id is adopted end to end.
+func TestPropagateInbound(t *testing.T) {
+	echoed, seen := runMiddleware(t, "client-id-123")
+	if echoed != "client-id-123" || seen != "client-id-123" {
+		t.Fatalf("echoed %q, context %q; want the inbound id", echoed, seen)
+	}
+}
+
+// TestGenerateWhenMissingOrHostile: no id, or an id that would corrupt
+// a log line, gets replaced with a fresh one.
+func TestGenerateWhenMissingOrHostile(t *testing.T) {
+	for _, inbound := range []string{"", "bad id\nwith newline", strings.Repeat("x", 500)} {
+		echoed, seen := runMiddleware(t, inbound)
+		if echoed == "" || echoed != seen {
+			t.Fatalf("inbound %q: echoed %q, context %q", inbound, echoed, seen)
+		}
+		if inbound != "" && echoed == inbound {
+			t.Fatalf("hostile id %q adopted verbatim", inbound)
+		}
+	}
+}
+
+// TestNewUnique: ids don't collide in a small sample.
+func TestNewUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := New()
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}

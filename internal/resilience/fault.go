@@ -109,6 +109,20 @@ const (
 	// worker must retry and the journal must still record the cell
 	// exactly once.
 	FaultDistResult Fault = "dist/result"
+	// FaultCatalogServe fires in the serving daemon's catalog handlers
+	// before a catalog listing or file body is served, with the requested
+	// release name (or "catalog" for the listing) as payload. A failing
+	// hook turns replica sync fetches into 500s, exercising the
+	// follower's bounded retry; a stalled hook holds a transfer open so
+	// a kill lands mid-download.
+	FaultCatalogServe Fault = "serve/catalog"
+	// FaultReplicaFetch fires in a follower for every chunk of a release
+	// file it downloads, with a *serve.FetchChunk as payload. Hooks can
+	// flip bytes in the chunk (the checksum verify must refuse the
+	// install and re-fetch), return an error (a mid-transfer failure the
+	// resumable download must survive), or stall so a SIGKILL lands
+	// mid-sync with a partial file on disk.
+	FaultReplicaFetch Fault = "serve/replica-fetch"
 	// FaultDistHeartbeat fires in the coordinator's heartbeat handler,
 	// with the heartbeating worker id as payload. A persistently failing
 	// hook simulates a network partition: the worker's leases expire and

@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastPolicy(attempts int) Policy {
+	return Policy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestRetryHTTPTransient: transport-level failures and 5xx/429 statuses
+// are retried under the policy; the first accepted response is handed
+// back with its body intact.
+func TestRetryHTTPTransient(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+		case 2:
+			http.Error(w, "busy", http.StatusTooManyRequests)
+		default:
+			io.WriteString(w, "payload")
+		}
+	}))
+	defer ts.Close()
+	resp, err := RetryHTTP(context.Background(), nil, fastPolicy(5), "test: get",
+		func(ctx context.Context) (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+		},
+		func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusOK {
+				return StatusError(resp, "test: get")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); string(b) != "payload" {
+		t.Fatalf("body = %q", b)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3", n)
+	}
+}
+
+// TestRetryHTTPTerminal: an unmarked onResp error stops the loop after
+// one attempt — a wrong request is not retried into a right one.
+func TestRetryHTTPTerminal(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	_, err := RetryHTTP(context.Background(), nil, fastPolicy(5), "test: get",
+		func(ctx context.Context) (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+		},
+		func(resp *http.Response) error { return StatusError(resp, "test: get") })
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err = %v, want terminal 404", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d requests for a terminal status, want 1", n)
+	}
+}
+
+// TestRetryHTTPFreshRequestPerAttempt: newReq runs once per attempt, so
+// callers can recompute per-attempt state (a resume offset, say) and
+// single-use request bodies are rebuilt rather than resent empty.
+func TestRetryHTTPFreshRequestPerAttempt(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "not yet", http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, r.Header.Get("X-Attempt"))
+	}))
+	defer ts.Close()
+	built := 0
+	resp, err := RetryHTTP(context.Background(), nil, fastPolicy(5), "test: get",
+		func(ctx context.Context) (*http.Request, error) {
+			built++
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("X-Attempt", fmt.Sprint(built))
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusOK {
+				return StatusError(resp, "test: get")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if built != 3 {
+		t.Fatalf("newReq ran %d times, want 3", built)
+	}
+	if b, _ := io.ReadAll(resp.Body); string(b) != "3" {
+		t.Fatalf("winning attempt sent header %q, want 3", b)
+	}
+}
+
+// TestRetryHTTPBadRequestBuild: a newReq failure is terminal.
+func TestRetryHTTPBadRequestBuild(t *testing.T) {
+	boom := errors.New("cannot build")
+	built := 0
+	_, err := RetryHTTP(context.Background(), nil, fastPolicy(5), "test: get",
+		func(ctx context.Context) (*http.Request, error) { built++; return nil, boom },
+		func(*http.Response) error { return nil })
+	if !errors.Is(err, boom) || built != 1 {
+		t.Fatalf("err = %v after %d builds, want %v after 1", err, built, boom)
+	}
+}
+
+// TestClassifyStatus pins the transient/terminal split and the
+// Retry-After hint extraction.
+func TestClassifyStatus(t *testing.T) {
+	mk := func(code int, retryAfter string) *http.Response {
+		h := http.Header{}
+		if retryAfter != "" {
+			h.Set("Retry-After", retryAfter)
+		}
+		return &http.Response{StatusCode: code, Header: h}
+	}
+	base := errors.New("base")
+	if err := ClassifyStatus(mk(http.StatusBadRequest, ""), base); IsRetryable(err) {
+		t.Fatal("400 classified retryable")
+	}
+	if err := ClassifyStatus(mk(http.StatusTooManyRequests, ""), base); !IsRetryable(err) {
+		t.Fatal("429 not retryable")
+	}
+	err := ClassifyStatus(mk(http.StatusServiceUnavailable, "7"), base)
+	if !IsRetryable(err) {
+		t.Fatal("503 not retryable")
+	}
+	if hint, ok := RetryAfterHint(err); !ok || hint != 7*time.Second {
+		t.Fatalf("hint = %v, %v; want 7s", hint, ok)
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("classification lost the base error")
+	}
+}

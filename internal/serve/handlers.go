@@ -7,15 +7,20 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/query"
+	"repro/internal/reqid"
 	"repro/internal/resilience"
 )
 
 // errorBody is the structured error envelope every non-200 carries.
+// Code, when set, is a stable machine-readable discriminator — clients
+// branch on it instead of parsing the human-facing message.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -49,18 +54,24 @@ type datasetInfo struct {
 
 // Handler assembles the full middleware stack:
 //
-//	recoverPanics → mux → (/query: withDeadline → withAdmission → handleQuery)
+//	reqid → staleness → recoverPanics → instrument → mux
+//	  (/query: withDeadline → withAdmission → handleQuery)
 //
 // Health endpoints bypass deadline and admission on purpose: a saturated
-// server must still answer its balancer's probes instantly.
+// server must still answer its balancer's probes instantly. Request-id
+// and staleness stamping sit outermost so even a shed or panicking
+// request carries both headers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/catalog", s.handleCatalog)
+	mux.HandleFunc("/catalog/file", s.handleCatalogFile)
+	mux.Handle("/metrics", s.met.reg.Handler())
 	mux.HandleFunc("/-/reload", s.handleReload)
 	mux.Handle("/query", s.withDeadline(s.withAdmission(http.HandlerFunc(s.handleQuery))))
-	return s.recoverPanics(mux)
+	return reqid.Middleware(s.withStaleness(s.recoverPanics(s.instrument(mux))))
 }
 
 // handleHealthz is liveness: the process is up and the handler stack
@@ -71,27 +82,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is readiness: false (503) while draining, while the
-// admission gate is saturated, or while the daemon is still serving
-// nothing because its initial dataset load failed — so balancers steer
-// new traffic away before it gets shed with 429s or 400s. A *failed
-// reload* does not flip readiness: the previous generation keeps
-// answering. Transient 503s (saturation — the condition that clears by
-// itself) carry a Retry-After hint so polite probes back off instead of
-// tightening the loop that caused the saturation.
+// admission gate is saturated, while the daemon is still serving
+// nothing because its initial dataset load failed, or while a follower
+// has never completed its first sync — so balancers steer new traffic
+// away before it gets shed with 429s or 400s. A *failed reload* does
+// not flip readiness: the previous generation keeps answering. Likewise
+// a follower whose sync is failing stays ready — degraded, serving its
+// last good generation — and reports how far behind it is; staleness is
+// the gateway's signal, not a reason to stop answering. Transient 503s
+// (saturation — the condition that clears by itself) carry a
+// Retry-After hint so polite probes back off instead of tightening the
+// loop that caused the saturation.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	f := s.follower.Load()
 	switch {
 	case s.draining.Load():
 		writeError(w, http.StatusServiceUnavailable, "draining")
-	case s.initialLoadFailed.Load():
+	case f != nil && s.store.Len() == 0:
+		writeError(w, http.StatusServiceUnavailable, "awaiting first sync from "+f.Status().Peer)
+	case f == nil && s.initialLoadFailed.Load():
 		writeError(w, http.StatusServiceUnavailable, "initial dataset load failed; fix the files and reload")
 	case s.gate.saturated():
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusServiceUnavailable, "at capacity")
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ready",
-			"inflight": s.gate.inflight(),
-		})
+		body := map[string]any{
+			"status":     "ready",
+			"inflight":   s.gate.inflight(),
+			"generation": s.store.Generation(),
+		}
+		if f != nil {
+			st := f.Status()
+			stale := st.Staleness(time.Now())
+			if stale > 0 {
+				body["status"] = "degraded"
+			}
+			body["sync"] = st
+			body["staleness_seconds"] = stale.Seconds()
+		}
+		writeJSON(w, http.StatusOK, body)
 	}
 }
 
@@ -120,8 +149,10 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 //
 // It re-sniffs every configured dataset and atomically swaps the new
 // set in; in-flight queries finish on the old snapshot. Disabled (404)
-// when no token is configured, 403 on a missing or wrong token, and a
-// failed reload answers 500 while the old data keeps serving.
+// when no token is configured, 401 with a typed JSON body on a missing
+// or wrong token (the comparison is constant-time, so the response
+// leaks nothing about how close a guess came), and a failed reload
+// answers 500 while the old data keeps serving.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.ReloadToken == "" {
 		writeError(w, http.StatusNotFound, "reload not enabled (start with a reload token)")
@@ -134,7 +165,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
 	if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.ReloadToken)) != 1 {
-		writeError(w, http.StatusForbidden, "missing or invalid bearer token")
+		w.Header().Set("WWW-Authenticate", `Bearer realm="stpt-serve reload"`)
+		writeJSON(w, http.StatusUnauthorized, errorBody{
+			Error: "missing or invalid bearer token",
+			Code:  "unauthorized",
+		})
 		return
 	}
 	if err := s.Reload(); err != nil {

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// serveMetrics is the daemon's /metrics instrument set. Counters and the
+// latency histogram are updated inline by the instrumentation
+// middleware; the generation and replication gauges are callbacks read
+// at scrape time, so they are always current without any bookkeeping on
+// the serving path.
+type serveMetrics struct {
+	reg      *metrics.Registry
+	requests *metrics.CounterVec // by status code
+	shed     *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+func newServeMetrics(s *Server) *serveMetrics {
+	reg := metrics.NewRegistry()
+	m := &serveMetrics{
+		reg:      reg,
+		requests: reg.CounterVec("stpt_serve_requests_total", "HTTP requests served, by status code.", "code"),
+		shed:     reg.Counter("stpt_serve_shed_total", "Requests shed by the admission gate (429)."),
+		latency:  reg.Histogram("stpt_serve_request_seconds", "Request latency.", metrics.DefBuckets()),
+	}
+	reg.GaugeFunc("stpt_serve_generation", "Serving release-set generation id.", func() float64 {
+		return float64(s.store.Generation())
+	})
+	reg.GaugeFunc("stpt_serve_inflight", "Queries currently admitted.", func() float64 {
+		return float64(s.gate.inflight())
+	})
+	reg.GaugeFunc("stpt_serve_sync_staleness_seconds",
+		"How long this replica has been behind its sync peer (0: caught up or not a follower).",
+		func() float64 {
+			if f := s.follower.Load(); f != nil {
+				return f.Status().Staleness(time.Now()).Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("stpt_serve_synced_generation",
+		"Peer generation last installed by follower sync (0 when not a follower).",
+		func() float64 {
+			if f := s.follower.Load(); f != nil {
+				return float64(f.Status().SyncedGeneration)
+			}
+			return 0
+		})
+	reg.GaugeFunc("stpt_serve_sync_corrupt_refused_total",
+		"Downloads refused by follower checksum verification.",
+		func() float64 {
+			if f := s.follower.Load(); f != nil {
+				return float64(f.Status().CorruptRefused)
+			}
+			return 0
+		})
+	return m
+}
+
+// statusRecorder captures the status code a handler wrote so the
+// instrumentation middleware can label its counters. An untouched
+// WriteHeader means the implicit 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument counts and times every request. It sits just inside panic
+// recovery so even a 500 from a recovered panic is counted.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		code := rec.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.met.requests.With(strconv.Itoa(code)).Inc()
+		if code == http.StatusTooManyRequests {
+			s.met.shed.Inc()
+		}
+		s.met.latency.Observe(time.Since(start).Seconds())
+	})
+}
+
+// withStaleness stamps every response from a follower replica with an
+// X-STPT-Staleness header (seconds behind the sync peer, 0 when caught
+// up) so gateways and clients can tell degraded answers from fresh ones
+// without a second probe.
+func (s *Server) withStaleness(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f := s.follower.Load(); f != nil {
+			stale := f.Status().Staleness(time.Now())
+			w.Header().Set(StalenessHeader, strconv.FormatFloat(stale.Seconds(), 'f', 3, 64))
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// StalenessHeader reports, on every response from a follower replica,
+// how many seconds behind its sync peer the serving data is.
+const StalenessHeader = "X-STPT-Staleness"

@@ -142,11 +142,21 @@ func TestReloadAuth(t *testing.T) {
 		if status, _ := get(t, ts.URL+"/-/reload"); status != http.StatusMethodNotAllowed {
 			t.Fatalf("GET: status %d, want 405", status)
 		}
-		if status, _ := postReload(t, ts.URL, ""); status != http.StatusForbidden {
-			t.Fatalf("no token: status %d, want 403", status)
-		}
-		if status, _ := postReload(t, ts.URL, "wrong"); status != http.StatusForbidden {
-			t.Fatalf("wrong token: status %d, want 403", status)
+		for _, token := range []string{"", "wrong"} {
+			status, body := postReload(t, ts.URL, token)
+			if status != http.StatusUnauthorized {
+				t.Fatalf("token %q: status %d, want 401", token, status)
+			}
+			var eb struct {
+				Error string `json:"error"`
+				Code  string `json:"code"`
+			}
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatalf("401 body %s is not the typed error envelope: %v", body, err)
+			}
+			if eb.Code != "unauthorized" || eb.Error == "" {
+				t.Fatalf("401 body %s: want code=unauthorized and a message", body)
+			}
 		}
 		if status, _ := postReload(t, ts.URL, "sesame"); status != http.StatusOK {
 			t.Fatalf("right token: status %d, want 200", status)

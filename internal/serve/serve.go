@@ -28,8 +28,14 @@ type Server struct {
 	cfg      Config
 	store    *Store
 	gate     *gate
+	met      *serveMetrics
 	base     context.Context // value-only: carries the fault injector
 	draining atomic.Bool
+	// follower, when set, marks this replica as syncing from a peer:
+	// /readyz gains replication status, responses carry X-STPT-Staleness,
+	// and an empty store reads as "awaiting first sync" rather than
+	// "misconfigured".
+	follower atomic.Pointer[Follower]
 	// initialLoadFailed makes /readyz report 503 when the daemon came up
 	// without any usable releases. A later successful reload clears it —
 	// the operator fixed the files and rang the reload bell, so the
@@ -45,13 +51,22 @@ type Server struct {
 // drain).
 func New(ctx context.Context, store *Store, cfg Config) *Server {
 	cfg = cfg.withDefaults(parallel.Workers(0))
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		store: store,
 		gate:  newGate(cfg.Capacity, cfg.Queue),
 		base:  context.WithoutCancel(ctx),
 	}
+	s.met = newServeMetrics(s)
+	return s
 }
+
+// SetFollower marks this server as a replica syncing from f's peer.
+// Call before traffic starts; the caller owns running f (Follower.Run).
+func (s *Server) SetFollower(f *Follower) { s.follower.Store(f) }
+
+// Follower returns the replica's follower, or nil on a leader.
+func (s *Server) Follower() *Follower { return s.follower.Load() }
 
 // Draining reports whether the server has begun graceful shutdown.
 func (s *Server) Draining() bool { return s.draining.Load() }

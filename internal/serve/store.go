@@ -6,6 +6,7 @@ import (
 	"encoding/csv"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -27,6 +28,24 @@ type Release struct {
 	Name   string
 	Matrix *grid.Matrix
 	Index  *grid.TileIndex
+	// Source describes the file this release was loaded from — the
+	// exact bytes, not whatever is on disk now — so the /catalog a
+	// follower syncs against always matches the data actually serving.
+	// Nil for releases registered programmatically via Add.
+	Source *ReleaseSource
+}
+
+// ReleaseSource records a spec-loaded release's provenance: the path it
+// came from and the size and CRC-32C of the bytes that were parsed into
+// the serving matrix. Followers compare these against their own files
+// during anti-entropy, and verify fetched bytes against CRC before a
+// download may be installed.
+type ReleaseSource struct {
+	Path string
+	Size int64
+	CRC  uint32 // CRC-32C (Castagnoli) over the file bytes as loaded
+	Cx   int    // grid hints for household-format files, as in LoadSpec
+	Cy   int
 }
 
 // releaseSet is one immutable generation of loaded releases. Readers
@@ -133,6 +152,20 @@ func (s *Store) Names() []string {
 // Len returns the number of loaded releases.
 func (s *Store) Len() int { return len(s.cur.Load().rel) }
 
+// Snapshot returns the current generation's releases (sorted by name)
+// and its generation id as one consistent view — the catalog handler
+// and follower reconciliation both need the pair to come from the same
+// atomic load, or a concurrent reload could advertise generation N with
+// generation N+1's files.
+func (s *Store) Snapshot() ([]*Release, uint64) {
+	set := s.cur.Load()
+	rels := make([]*Release, 0, len(set.names))
+	for _, n := range set.names {
+		rels = append(rels, set.rel[n])
+	}
+	return rels, set.gen
+}
+
 // LoadSpec names one release and where to (re)load it from. Cx/Cy only
 // matter for household-format files (0 infers a power-of-two grid, as
 // in datasets.LoadCSV).
@@ -184,11 +217,11 @@ func (s *Store) Reload() error {
 		if _, dup := next[sp.Name]; dup {
 			return fmt.Errorf("serve: reload: duplicate release name %q", sp.Name)
 		}
-		m, err := loadSpecFile(sp)
+		m, src, err := loadSpecFile(sp)
 		if err != nil {
 			return err
 		}
-		next[sp.Name] = &Release{Name: sp.Name, Matrix: m, Index: grid.NewTileIndex(m)}
+		next[sp.Name] = &Release{Name: sp.Name, Matrix: m, Index: grid.NewTileIndex(m), Source: src}
 	}
 	s.mu.Lock()
 	s.publishLocked(newReleaseSet(next))
@@ -202,7 +235,7 @@ func (s *Store) Reload() error {
 // (x,y,v0,...) is aggregated into its consumption matrix first (cx/cy
 // as in datasets.LoadCSV: 0 infers a power-of-two grid).
 func (s *Store) LoadFile(name, path string, cx, cy int) error {
-	m, err := loadSpecFile(LoadSpec{Name: name, Path: path, Cx: cx, Cy: cy})
+	m, _, err := loadSpecFile(LoadSpec{Name: name, Path: path, Cx: cx, Cy: cy})
 	if err != nil {
 		return err
 	}
@@ -210,16 +243,47 @@ func (s *Store) LoadFile(name, path string, cx, cy int) error {
 	return nil
 }
 
-// loadSpecFile opens, sniffs, and parses one spec's file.
-func loadSpecFile(sp LoadSpec) (*grid.Matrix, error) {
+// castagnoli is the CRC-32C table shared by catalog hashing and
+// follower verification — the same polynomial the ingest WAL uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcCounter hashes and counts everything that flows through it.
+type crcCounter struct {
+	n   int64
+	crc uint32
+}
+
+func (c *crcCounter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, castagnoli, p)
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// loadSpecFile opens, sniffs, and parses one spec's file, hashing the
+// bytes as they stream through so the returned ReleaseSource describes
+// exactly what was parsed — not what a later reader might find at the
+// same path.
+func loadSpecFile(sp LoadSpec) (*grid.Matrix, *ReleaseSource, error) {
 	f, err := os.Open(sp.Path)
 	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return nil, nil, fmt.Errorf("serve: %w", err)
 	}
 	defer f.Close()
+	cc := &crcCounter{}
 	// 64 KiB of lookahead comfortably covers the widest header row a
 	// household file produces, so sniffing never truncates mid-line.
-	return loadMatrix(bufio.NewReaderSize(f, 1<<16), sp.Path, sp.Cx, sp.Cy)
+	br := bufio.NewReaderSize(io.TeeReader(f, cc), 1<<16)
+	m, err := loadMatrix(br, sp.Path, sp.Cx, sp.Cy)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The CSV parser stops at EOF, but make the tail explicit: whatever
+	// it somehow left unread still belongs to the advertised checksum.
+	if _, err := io.Copy(io.Discard, br); err != nil {
+		return nil, nil, fmt.Errorf("serve: hashing %s: %w", sp.Path, err)
+	}
+	src := &ReleaseSource{Path: sp.Path, Size: cc.n, CRC: cc.crc, Cx: sp.Cx, Cy: sp.Cy}
+	return m, src, nil
 }
 
 // loadMatrix sniffs and parses either CSV shape from r.
