@@ -42,9 +42,11 @@ import (
 
 	"repro/internal/dp"
 	"repro/internal/ingest"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/profiling"
 	"repro/internal/resilience"
+	"repro/internal/scrub"
 )
 
 func main() {
@@ -71,6 +73,8 @@ func main() {
 		retries     = flag.Int("stage-retries", 3, "attempts per pipeline stage on transient failures")
 		maxElapsed  = flag.Duration("stage-max-elapsed", 30*time.Second, "total wall-clock cap across one stage's retries")
 		pprofAddr   = flag.String("pprof-addr", "", "listen address for the net/http/pprof debug surface (empty = disabled); keep it on a loopback or otherwise private interface")
+		scrubEvery  = flag.Duration("scrub-interval", time.Minute, "period between at-rest integrity scrub passes in daemon mode (0 = scrubbing disabled)")
+		scrubRate   = flag.Int64("scrub-rate", 0, "scrub read throttle in bytes/sec (0 = unthrottled)")
 	)
 	flag.Parse()
 	switch {
@@ -145,7 +149,28 @@ func main() {
 	}
 
 	if *listen != "" {
-		serveHTTP(ctx, sup, in, *listen, *token, *interval)
+		var sc *scrub.Scrubber
+		if *scrubEvery > 0 {
+			// The pipeline has no upstream to repair from: a corrupt
+			// journal or release latches /readyz "corrupt" until
+			// stpt-doctor (or an operator) restores the bytes. The active
+			// WAL segment is excluded by PipelineTargets — its torn tail is
+			// a legal crash signature, not rot.
+			sc, err = scrub.New(scrub.Config{
+				Interval:    *scrubEvery,
+				BytesPerSec: *scrubRate,
+				Targets:     scrub.PipelineTargets(*outDir, manifestPath, *ledgerPath, *walPath),
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fatalf("%v", err)
+			}
+			go sc.Run(ctx)
+			fmt.Fprintf(os.Stderr, "stpt-pipeline: scrubbing at-rest artifacts every %s\n", *scrubEvery)
+		}
+		serveHTTP(ctx, sup, in, sc, *listen, *token, *interval)
 		return
 	}
 
@@ -178,12 +203,19 @@ func main() {
 }
 
 // serveHTTP runs ingestion and supervision on one listener until the
-// context is cancelled, then drains.
-func serveHTTP(ctx context.Context, sup *pipeline.Supervisor, in *ingest.Ingester, addr, token string, interval time.Duration) {
-	h := pipeline.Handler(sup, pipeline.HandlerConfig{
+// context is cancelled, then drains. With a scrubber attached, /readyz
+// reports "corrupt" while artifacts are latched damaged and /metrics
+// carries the scrub counters.
+func serveHTTP(ctx context.Context, sup *pipeline.Supervisor, in *ingest.Ingester, sc *scrub.Scrubber, addr, token string, interval time.Duration) {
+	hcfg := pipeline.HandlerConfig{
 		Token:  token,
 		Ingest: ingest.Handler(in, ingest.HandlerConfig{Token: token}),
-	})
+	}
+	if sc != nil {
+		hcfg.Integrity = sc
+		hcfg.Metrics = scrubMetricsHandler(sc)
+	}
+	h := pipeline.Handler(sup, hcfg)
 	srv := &http.Server{Addr: addr, Handler: h}
 	errc := make(chan error, 2)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -202,6 +234,31 @@ func serveHTTP(ctx context.Context, sup *pipeline.Supervisor, in *ingest.Ingeste
 		fatalf("shutdown: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "stpt-pipeline: drained")
+}
+
+// scrubMetricsHandler exposes the scrub counters in Prometheus text
+// format on the pipeline's /metrics.
+func scrubMetricsHandler(sc *scrub.Scrubber) http.Handler {
+	reg := metrics.NewRegistry()
+	count := func(pick func(p, c, r, q uint64) uint64) func() float64 {
+		return func() float64 { return float64(pick(sc.ScrubCounts())) }
+	}
+	reg.GaugeFunc("stpt_pipeline_scrub_passes_total",
+		"Completed integrity-scrub passes over the at-rest artifacts.",
+		count(func(p, _, _, _ uint64) uint64 { return p }))
+	reg.GaugeFunc("stpt_pipeline_scrub_corrupt_found_total",
+		"Artifacts found corrupt by the integrity scrubber.",
+		count(func(_, c, _, _ uint64) uint64 { return c }))
+	reg.GaugeFunc("stpt_pipeline_scrub_repaired_total",
+		"Corrupt artifacts repaired and byte-verified.",
+		count(func(_, _, r, _ uint64) uint64 { return r }))
+	reg.GaugeFunc("stpt_pipeline_scrub_quarantined_total",
+		"Corrupt artifacts quarantined to <path>.corrupt.",
+		count(func(_, _, _, q uint64) uint64 { return q }))
+	reg.GaugeFunc("stpt_pipeline_scrub_corrupt_artifacts",
+		"Artifacts currently latched corrupt (readiness reports 'corrupt' while > 0).",
+		func() float64 { return float64(len(sc.CorruptArtifacts())) })
+	return reg.Handler()
 }
 
 func fatalf(format string, args ...any) {

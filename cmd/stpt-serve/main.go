@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/profiling"
 	"repro/internal/resilience"
+	"repro/internal/scrub"
 	"repro/internal/serve"
 )
 
@@ -64,6 +65,8 @@ func main() {
 		follow     = flag.String("follow", "", "peer URL to sync releases from (replica mode); requires -data-dir")
 		dataDir    = flag.String("data-dir", "", "directory a follower installs synced releases into")
 		syncEvery  = flag.Duration("sync-interval", 2*time.Second, "anti-entropy period in -follow mode")
+		scrubEvery = flag.Duration("scrub-interval", time.Minute, "period between at-rest integrity scrub passes (0 = scrubbing disabled)")
+		scrubRate  = flag.Int64("scrub-rate", 0, "scrub read throttle in bytes/sec (0 = unthrottled)")
 	)
 	flag.Func("load", "release to serve as name=path (repeatable); path is a stpt-run cell CSV or a stpt-datagen household CSV", func(v string) error {
 		loads = append(loads, v)
@@ -132,8 +135,10 @@ func main() {
 	})
 	s.MarkInitialLoad(initialErr)
 
+	var fl *serve.Follower
 	if *follow != "" {
-		fl, err := serve.NewFollower(store, serve.FollowerConfig{
+		var err error
+		fl, err = serve.NewFollower(store, serve.FollowerConfig{
 			Peer:     *follow,
 			Dir:      *dataDir,
 			Interval: *syncEvery,
@@ -148,6 +153,33 @@ func main() {
 		go fl.Run(ctx)
 		fmt.Fprintf(os.Stderr, "stpt-serve: following %s (anti-entropy every %s, data dir %s)\n",
 			*follow, *syncEvery, *dataDir)
+	}
+
+	if *scrubEvery > 0 {
+		scfg := scrub.Config{
+			Interval:    *scrubEvery,
+			BytesPerSec: *scrubRate,
+			Targets:     scrub.StoreTargets(store),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+		if fl != nil {
+			// A follower self-heals: a quarantined release is re-fetched
+			// from the peer through the verified catalog path. A leader has
+			// no upstream — corruption latches /readyz until an operator
+			// (or stpt-doctor with a healthy replica) restores the bytes.
+			scfg.Repair = func(ctx context.Context, t scrub.Target) error {
+				return fl.RepairFile(ctx, t.Path)
+			}
+		}
+		sc, err := scrub.New(scfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		s.SetIntegrity(sc)
+		go sc.Run(ctx)
+		fmt.Fprintf(os.Stderr, "stpt-serve: scrubbing at-rest releases every %s\n", *scrubEvery)
 	}
 
 	// SIGHUP: the classic zero-downtime reload bell. In-flight queries

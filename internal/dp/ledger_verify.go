@@ -1,0 +1,144 @@
+package dp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// LedgerFault reports the first verification failure found in a ledger
+// file: which line, which expected sequence (0 when the damage is not an
+// entry-sequence problem), the byte offset the bad line starts at, and
+// why it was refused. It is the typed error both (*Ledger).Verify and
+// the cross-artifact fsck surface.
+type LedgerFault struct {
+	Path   string
+	Line   int   // 1-based line number of the bad line
+	Seq    int   // sequence expected at that line, 0 if not applicable
+	Offset int64 // byte offset of the bad line's first byte
+	Reason string
+}
+
+func (e *LedgerFault) Error() string {
+	if e.Seq > 0 {
+		return fmt.Sprintf("dp: ledger %s line %d (seq %d, byte offset %d): %s", e.Path, e.Line, e.Seq, e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("dp: ledger %s line %d (byte offset %d): %s", e.Path, e.Line, e.Offset, e.Reason)
+}
+
+// LedgerScan is the result of a read-only walk over ledger bytes: the
+// same state OpenLedger would recover, computed without touching the
+// file — no truncation, no handle, no side effects. Fsck and the
+// background scrubber both verify through it.
+type LedgerScan struct {
+	// Base is the sequence folded into the leading checkpoint, 0 without
+	// one.
+	Base int
+	// Entries are the live (post-checkpoint) entries in append order.
+	Entries []LedgerEntry
+	// Spent is the per-dataset ε fold — checkpoint value plus live
+	// entries, in exactly spentLocked's left-to-right order, so a verify
+	// agrees bit-for-bit with the running ledger's arithmetic.
+	Spent map[string]float64
+	// Durable is the offset after the last valid line.
+	Durable int64
+	// Torn reports trailing bytes past Durable — the tolerated torn-tail
+	// case (a crash mid-append) that OpenLedger would truncate away.
+	Torn bool
+}
+
+// ScanLedger walks raw ledger bytes read-only, applying exactly the
+// recovery rules OpenLedger enforces: a leading optional checkpoint,
+// checksummed gapless-sequence entries, and a tolerated torn tail (a
+// final line with no newline, or a complete-looking final line whose
+// checksum fails with nothing after it). Interior damage returns a
+// *LedgerFault naming the first bad line. path is used only for error
+// messages.
+func ScanLedger(path string, raw []byte) (*LedgerScan, error) {
+	sc := &LedgerScan{Spent: map[string]float64{}}
+	off := 0
+	for lineNo := 1; off < len(raw); lineNo++ {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // torn tail: append cut mid-line
+		}
+		line := raw[off : off+nl]
+		rec, perr := parseLedgerLine(line)
+		if perr != nil {
+			if off+nl+1 == len(raw) {
+				break // complete-looking final line failing checksum: torn tail
+			}
+			// Past line 1 the damaged line can only be an entry, so the
+			// sequence it should have carried is known.
+			seq := 0
+			if lineNo > 1 {
+				seq = sc.Base + len(sc.Entries) + 1
+			}
+			return nil, &LedgerFault{Path: path, Line: lineNo, Seq: seq, Offset: int64(off), Reason: perr.Error()}
+		}
+		if rec.Checkpoint != nil {
+			if lineNo != 1 {
+				return nil, &LedgerFault{Path: path, Line: lineNo, Offset: int64(off),
+					Reason: "checkpoint after entries — the file was spliced"}
+			}
+			sc.Base = rec.Checkpoint.Seq
+			for ds, eps := range rec.Checkpoint.Spent {
+				sc.Spent[ds] = eps
+			}
+			off += nl + 1
+			continue
+		}
+		if want := sc.Base + len(sc.Entries) + 1; rec.Seq != want {
+			return nil, &LedgerFault{Path: path, Line: lineNo, Seq: want, Offset: int64(off),
+				Reason: fmt.Sprintf("sequence %d, want %d (entries missing or reordered)", rec.Seq, want)}
+		}
+		sc.Entries = append(sc.Entries, rec.LedgerEntry)
+		sc.Spent[rec.Dataset] += rec.Eps()
+		off += nl + 1
+	}
+	sc.Durable = int64(off)
+	sc.Torn = off < len(raw)
+	return sc, nil
+}
+
+// VerifyLedgerFile reads and scans the ledger at path without opening it
+// for writing — safe to run against a live daemon's ledger, whose only
+// concurrent mutation is an append (at worst observed as a tolerated
+// torn tail).
+func VerifyLedgerFile(path string) (*LedgerScan, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dp: reading ledger: %w", err)
+	}
+	return ScanLedger(path, raw)
+}
+
+// Verify re-walks the on-disk checkpoint and tail and cross-checks them
+// against the live handle's state, returning a *LedgerFault naming the
+// first bad seq/checksum with its byte offset. A clean file that has
+// diverged from memory (spliced or doubly-opened) is also refused: the
+// whole point of the ledger is that disk and arithmetic agree.
+func (l *Ledger) Verify() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	raw, err := os.ReadFile(l.path)
+	if err != nil {
+		return fmt.Errorf("dp: reading ledger: %w", err)
+	}
+	sc, err := ScanLedger(l.path, raw)
+	if err != nil {
+		return err
+	}
+	// Under the lock no append is in flight, so the file must match
+	// memory exactly — even a torn tail here means someone else wrote.
+	if sc.Torn {
+		return &LedgerFault{Path: l.path, Line: len(sc.Entries) + 1, Offset: sc.Durable,
+			Reason: "trailing bytes past the durable prefix while no append is in flight"}
+	}
+	if sc.Base != l.base || len(sc.Entries) != len(l.entries) || sc.Durable != l.end {
+		return &LedgerFault{Path: l.path, Line: len(sc.Entries), Offset: sc.Durable,
+			Reason: fmt.Sprintf("file holds base=%d entries=%d durable=%d, memory says base=%d entries=%d durable=%d — the file changed behind the live handle",
+				sc.Base, len(sc.Entries), sc.Durable, l.base, len(l.entries), l.end)}
+	}
+	return nil
+}

@@ -193,7 +193,7 @@ func (w *WAL) replaySealed(path string, replay func(batch []Reading) error) erro
 	if err != nil {
 		return fmt.Errorf("ingest: sealed segment stat: %w", err)
 	}
-	off, n, err := w.scan(f, info.Size(), path, replay)
+	off, n, err := scanRecords(f, info.Size(), path, replay)
 	if err != nil {
 		return err
 	}
@@ -239,7 +239,7 @@ func (w *WAL) recoverActive(replay func(batch []Reading) error) error {
 		return err
 	}
 
-	off, n, err := w.scan(w.f, size, w.path, replay)
+	off, n, err := scanRecords(w.f, size, w.path, replay)
 	if err != nil {
 		return err
 	}
@@ -260,12 +260,14 @@ func (w *WAL) recoverActive(replay func(batch []Reading) error) error {
 	return err
 }
 
-// scan validates records from the start of one segment file, delivering
-// each complete batch, and returns the offset after the last complete
-// record plus the record count. An offset short of the file size means
-// a torn tail; the caller decides whether that is recoverable (active
-// segment) or corruption (sealed segment).
-func (w *WAL) scan(f *os.File, size int64, path string, replay func(batch []Reading) error) (int64, int, error) {
+// scanRecords validates records from the start of one segment image,
+// delivering each complete batch, and returns the offset after the last
+// complete record plus the record count. An offset short of the size
+// means a torn tail; the caller decides whether that is recoverable
+// (active segment) or corruption (sealed segment). Taking an io.ReaderAt
+// lets the read-only coverage walk (WALCoverage) reuse exactly the
+// scanner recovery trusts.
+func scanRecords(f io.ReaderAt, size int64, path string, replay func(batch []Reading) error) (int64, int, error) {
 	if size < walHeaderLen {
 		return 0, 0, fmt.Errorf("%w: segment %s shorter than its header", ErrWALCorrupt, path)
 	}

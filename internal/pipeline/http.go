@@ -16,6 +16,13 @@ type HandlerConfig struct {
 	// not claim — typically ingest.Handler, so one listener serves both
 	// the feed (/ingest, /stats, /-/compact) and the supervisor.
 	Ingest http.Handler
+	// Integrity, when non-nil, feeds the at-rest scrubber's latched
+	// corrupt set into /readyz: a daemon sitting on damaged journals or
+	// releases reports "corrupt" instead of publishing onward from them.
+	Integrity interface{ CorruptArtifacts() []string }
+	// Metrics, when non-nil, is mounted at /metrics (typically a
+	// metrics.Registry handler carrying the scrub counters).
+	Metrics http.Handler
 }
 
 // Handler exposes the supervisor over HTTP:
@@ -35,6 +42,17 @@ func Handler(s *Supervisor, cfg HandlerConfig) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Integrity != nil {
+			if corrupt := cfg.Integrity.CorruptArtifacts(); len(corrupt) > 0 {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"status":    "corrupt",
+					"artifact":  corrupt[0],
+					"artifacts": corrupt,
+					"pipeline":  s.Status(),
+				})
+				return
+			}
+		}
 		st := s.Status()
 		if st.BudgetExhausted {
 			writeJSON(w, http.StatusServiceUnavailable, st)
@@ -59,6 +77,9 @@ func Handler(s *Supervisor, cfg HandlerConfig) http.Handler {
 		s.SetBudget(*body.Budget)
 		writeJSON(w, http.StatusOK, map[string]any{"budget": *body.Budget})
 	})
+	if cfg.Metrics != nil {
+		mux.Handle("/metrics", cfg.Metrics)
+	}
 	if cfg.Ingest != nil {
 		mux.Handle("/", cfg.Ingest)
 	}

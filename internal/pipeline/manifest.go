@@ -143,6 +143,38 @@ func (m *Manifest) recover() error {
 	if err != nil {
 		return fmt.Errorf("pipeline: reading manifest: %w", err)
 	}
+	recs, durable, err := ScanManifest(m.path, raw)
+	if err != nil {
+		return err
+	}
+	m.recs = recs
+	off := durable
+	if off < int64(len(raw)) {
+		if err := m.f.Truncate(off); err != nil {
+			return fmt.Errorf("pipeline: truncating torn manifest tail: %w", err)
+		}
+		if err := m.f.Sync(); err != nil {
+			return fmt.Errorf("pipeline: syncing truncated manifest: %w", err)
+		}
+	}
+	if _, err := m.f.Seek(off, 0); err != nil {
+		return err
+	}
+	m.end = off
+	return nil
+}
+
+// ScanManifest validates raw manifest bytes strictly read-only — the
+// exact rules recovery enforces (checksums, gapless sequence, legal
+// lifecycle transitions, tolerated torn tail) with no truncation and no
+// file handle, so fsck and the background scrubber can audit a live
+// daemon's journal without racing its appends. It returns the valid
+// records in append order and the durable offset after the last valid
+// line; an offset short of len(raw) is the tolerated torn tail. Interior
+// damage returns an error wrapping ErrManifestCorrupt naming the line.
+// path is used only for error messages.
+func ScanManifest(path string, raw []byte) ([]Record, int64, error) {
+	var recs []Record
 	off := 0
 	for lineNo := 1; off < len(raw); lineNo++ {
 		nl := bytes.IndexByte(raw[off:], '\n')
@@ -157,31 +189,23 @@ func (m *Manifest) recover() error {
 				// landed after the newline but before the body was durable.
 				break
 			}
-			return fmt.Errorf("%w: %s line %d: %v", ErrManifestCorrupt, m.path, lineNo, perr)
+			return nil, 0, fmt.Errorf("%w: %s line %d: %v", ErrManifestCorrupt, path, lineNo, perr)
 		}
-		if want := len(m.recs) + 1; rec.Seq != want {
-			return fmt.Errorf("%w: %s line %d: sequence %d, want %d (records missing or reordered)",
-				ErrManifestCorrupt, m.path, lineNo, rec.Seq, want)
+		if want := len(recs) + 1; rec.Seq != want {
+			return nil, 0, fmt.Errorf("%w: %s line %d: sequence %d, want %d (records missing or reordered)",
+				ErrManifestCorrupt, path, lineNo, rec.Seq, want)
 		}
-		if err := m.validTransition(rec); err != nil {
-			return fmt.Errorf("%w: %s line %d: %v", ErrManifestCorrupt, m.path, lineNo, err)
+		var tip *Record
+		if len(recs) > 0 {
+			tip = &recs[len(recs)-1]
 		}
-		m.recs = append(m.recs, rec)
+		if err := validAfter(tip, rec); err != nil {
+			return nil, 0, fmt.Errorf("%w: %s line %d: %v", ErrManifestCorrupt, path, lineNo, err)
+		}
+		recs = append(recs, rec)
 		off += nl + 1
 	}
-	if off < len(raw) {
-		if err := m.f.Truncate(int64(off)); err != nil {
-			return fmt.Errorf("pipeline: truncating torn manifest tail: %w", err)
-		}
-		if err := m.f.Sync(); err != nil {
-			return fmt.Errorf("pipeline: syncing truncated manifest: %w", err)
-		}
-	}
-	if _, err := m.f.Seek(int64(off), 0); err != nil {
-		return err
-	}
-	m.end = int64(off)
-	return nil
+	return recs, int64(off), nil
 }
 
 // DecodeLine validates one manifest line `<crc32-hex> <json>` and
@@ -218,18 +242,18 @@ func DecodeLine(line []byte) (Record, error) {
 	return rec, nil
 }
 
-// validTransition checks that rec legally follows the journal's current
-// tip. The lifecycle is strictly sequential: the first record is window
-// 1's cut; after (w, s) comes (w, next(s)), or (w+1, cut) once w has
-// reached the terminal state.
-func (m *Manifest) validTransition(rec Record) error {
-	if len(m.recs) == 0 {
+// validAfter checks that rec legally follows the journal tip (nil on an
+// empty journal). The lifecycle is strictly sequential: the first record
+// is window 1's cut; after (w, s) comes (w, next(s)), or (w+1, cut) once
+// w has reached the terminal state. Shared by live appends and the
+// read-only scan so an audit enforces exactly what recovery would.
+func validAfter(tip *Record, rec Record) error {
+	if tip == nil {
 		if rec.Window != 1 || rec.State != StateCut {
 			return fmt.Errorf("first record is (window %d, %s), want (window 1, %s)", rec.Window, rec.State, StateCut)
 		}
 		return nil
 	}
-	tip := m.recs[len(m.recs)-1]
 	if tip.State == StateReloaded {
 		if rec.Window != tip.Window+1 || rec.State != StateCut {
 			return fmt.Errorf("after window %d completed, got (window %d, %s), want (window %d, %s)",
@@ -254,7 +278,11 @@ func (m *Manifest) Append(ctx context.Context, rec Record) error {
 	if m.broken {
 		return fmt.Errorf("%w (%s)", ErrManifestPoisoned, m.path)
 	}
-	if err := m.validTransition(rec); err != nil {
+	var tip *Record
+	if len(m.recs) > 0 {
+		tip = &m.recs[len(m.recs)-1]
+	}
+	if err := validAfter(tip, rec); err != nil {
 		return fmt.Errorf("pipeline: manifest refuses %v", err)
 	}
 	rec.Seq = len(m.recs) + 1

@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ScanManifest reproduces recovery's view byte-for-byte without
+// touching the file: same records, torn tail reported instead of
+// truncated, interior damage refused with the line number.
+func TestScanManifestMirrorsRecovery(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "manifest")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Window: 1, State: StateCut, T0: 0, T1: 3, Seed: 7},
+		{Window: 1, State: StateReleased, Checksum: 0xabcd},
+		{Window: 1, State: StateCharged, Eps: 0.5, Levels: []int{0}},
+		{Window: 1, State: StatePublished},
+		{Window: 1, State: StateReloaded},
+	}
+	for _, r := range recs {
+		if err := m.Append(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, durable, err := ScanManifest(path, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) || durable != int64(len(raw)) {
+		t.Fatalf("scan: %d records durable=%d, want %d records durable=%d", len(got), durable, len(recs), len(raw))
+	}
+
+	// Torn tail: tolerated, durable stops short.
+	torn := append(append([]byte{}, raw...), []byte("deadbeef {\"seq\":6")...)
+	got, durable, err = ScanManifest(path, torn)
+	if err != nil || len(got) != len(recs) || durable != int64(len(raw)) {
+		t.Fatalf("torn scan: %d records durable=%d err=%v", len(got), durable, err)
+	}
+
+	// Interior damage: refused with the line number.
+	bad := append([]byte{}, raw...)
+	nl := 0
+	for i, b := range bad {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	bad[nl-2] ^= 0x01
+	_, _, err = ScanManifest(path, bad)
+	if !errors.Is(err, ErrManifestCorrupt) || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("interior damage: %v, want ErrManifestCorrupt at line 1", err)
+	}
+
+	// A spliced journal breaking the lifecycle (reloaded → released) is
+	// refused by the shared transition check.
+	lines := strings.SplitAfter(string(raw), "\n")
+	spliced := []byte(strings.Join(lines[:len(lines)-1], "") + lines[1])
+	_, _, err = ScanManifest(path, spliced)
+	if !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("spliced lifecycle: %v, want ErrManifestCorrupt", err)
+	}
+}

@@ -147,16 +147,32 @@ func New(cfg Config, in *ingest.Ingester, led *dp.Ledger, man *Manifest) (*Super
 	return &Supervisor{cfg: cfg, in: in, led: led, man: man, tree: tree, budget: cfg.Budget}, nil
 }
 
-func (s *Supervisor) windowPath(w int) string {
-	return filepath.Join(s.cfg.OutDir, fmt.Sprintf("window-%06d.csv", w))
+// WindowPath, LatestPath, CutPath and RelPath name the pipeline's
+// on-disk artifacts under an output directory. They are the single
+// source of truth for the layout — the supervisor writes through them
+// and the integrity tooling (scrubber, stpt-doctor) audits through
+// them, so the two can never disagree about where a window lives.
+func WindowPath(outDir string, w int) string {
+	return filepath.Join(outDir, fmt.Sprintf("window-%06d.csv", w))
 }
-func (s *Supervisor) latestPath() string { return filepath.Join(s.cfg.OutDir, "latest.csv") }
-func (s *Supervisor) cutPath(w int) string {
-	return filepath.Join(s.cfg.OutDir, "staging", fmt.Sprintf("window-%06d.cut.csv", w))
+
+// LatestPath names the always-current alias of the newest release.
+func LatestPath(outDir string) string { return filepath.Join(outDir, "latest.csv") }
+
+// CutPath names window w's frozen raw sub-matrix in staging.
+func CutPath(outDir string, w int) string {
+	return filepath.Join(outDir, "staging", fmt.Sprintf("window-%06d.cut.csv", w))
 }
-func (s *Supervisor) relPath(w int) string {
-	return filepath.Join(s.cfg.OutDir, "staging", fmt.Sprintf("window-%06d.rel.csv", w))
+
+// RelPath names window w's staged (not yet published) release.
+func RelPath(outDir string, w int) string {
+	return filepath.Join(outDir, "staging", fmt.Sprintf("window-%06d.rel.csv", w))
 }
+
+func (s *Supervisor) windowPath(w int) string { return WindowPath(s.cfg.OutDir, w) }
+func (s *Supervisor) latestPath() string      { return LatestPath(s.cfg.OutDir) }
+func (s *Supervisor) cutPath(w int) string    { return CutPath(s.cfg.OutDir, w) }
+func (s *Supervisor) relPath(w int) string    { return RelPath(s.cfg.OutDir, w) }
 
 // windowSeed derives window w's noise seed from the configured base.
 // The multiplier is an arbitrary prime spreading consecutive windows
@@ -285,7 +301,18 @@ func (s *Supervisor) doCut(ctx context.Context, w int) error {
 // encoded release bytes. Fully deterministic given the cut file and the
 // record, which is what makes every later stage redoable.
 func (s *Supervisor) sanitise(w int, cutRec Record) ([]byte, error) {
-	f, err := os.Open(s.cutPath(w))
+	return RebuildRelease(s.cfg.OutDir, cutRec, s.cfg.EpsNode, s.cfg.Sensitivity)
+}
+
+// RebuildRelease re-derives window cutRec.Window's release bytes from
+// its frozen cut: load the staged cut, re-noise with the journalled
+// seed, re-encode. Given the same cut file and record the output is
+// bit-identical every time, which is what lets crash recovery redo a
+// publish — and lets stpt-doctor repair a damaged window file offline —
+// and then prove the bytes against the journalled checksum.
+func RebuildRelease(outDir string, cutRec Record, epsNode, sensitivity float64) ([]byte, error) {
+	w := cutRec.Window
+	f, err := os.Open(CutPath(outDir, w))
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: window %d cut missing: %w", w, err)
 	}
@@ -300,7 +327,7 @@ func (s *Supervisor) sanitise(w int, cutRec Record) ([]byte, error) {
 	lap := dp.NewLaplace(rand.New(rand.NewSource(cutRec.Seed)))
 	data := m.Data()
 	for i := range data {
-		data[i] = lap.Perturb(data[i], s.cfg.Sensitivity, s.cfg.EpsNode)
+		data[i] = lap.Perturb(data[i], sensitivity, epsNode)
 	}
 	var buf bytes.Buffer
 	if err := datasets.SaveMatrixCSV(m, &buf); err != nil {

@@ -82,8 +82,8 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 // copy itself failed — preservation is best-effort and must never mask
 // the original corruption error.
 func preserveCorrupt(path string, raw []byte) string {
-	dst := path + ".corrupt"
-	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+	dst, err := QuarantineCopy(path, raw)
+	if err != nil {
 		return ""
 	}
 	return " (preserved as " + dst + ")"

@@ -128,6 +128,18 @@ const (
 	// hook simulates a network partition: the worker's leases expire and
 	// its cells are reassigned while it still believes it holds them.
 	FaultDistHeartbeat Fault = "dist/heartbeat"
+	// FaultScrubRead fires in the integrity scrubber for every chunk it
+	// reads off disk, with a *scrub.Chunk as payload. Hooks can flip bytes
+	// in the chunk (the scrubber must report the artifact corrupt without
+	// the disk ever being damaged), return an error (an unreadable sector
+	// the pass must survive), or stall to pin a pass mid-read.
+	FaultScrubRead Fault = "scrub/read"
+	// FaultRepairFetch fires before a replica-assisted repair re-fetches a
+	// damaged artifact from a peer, with the artifact path as payload. A
+	// failing hook simulates an unreachable or refusing peer: the artifact
+	// must stay quarantined and latch the corrupt readiness state instead
+	// of being silently dropped.
+	FaultRepairFetch Fault = "scrub/repair-fetch"
 )
 
 // Hook is a fault handler. Returning a non-nil error makes the injection

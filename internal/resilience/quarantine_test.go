@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Scrubbing the same (recreated) corrupt path repeatedly must never
+// clobber earlier evidence: the first quarantine takes <path>.corrupt,
+// later ones take .corrupt.1, .corrupt.2, …
+func TestQuarantineNamingCollision(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "release.csv")
+
+	var dsts []string
+	for i, content := range []string{"first-corruption", "second-corruption", "third-corruption"} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dst, err := Quarantine(path)
+		if err != nil {
+			t.Fatalf("quarantine %d: %v", i, err)
+		}
+		dsts = append(dsts, dst)
+		if _, err := os.Lstat(path); !os.IsNotExist(err) {
+			t.Fatalf("quarantine %d left the original in place", i)
+		}
+	}
+
+	want := []string{path + ".corrupt", path + ".corrupt.1", path + ".corrupt.2"}
+	for i, dst := range dsts {
+		if dst != want[i] {
+			t.Errorf("quarantine %d went to %s, want %s", i, dst, want[i])
+		}
+	}
+	// Every generation of evidence survives with its own bytes.
+	for i, content := range []string{"first-corruption", "second-corruption", "third-corruption"} {
+		got, err := os.ReadFile(want[i])
+		if err != nil {
+			t.Fatalf("evidence %s: %v", want[i], err)
+		}
+		if string(got) != content {
+			t.Errorf("%s holds %q, want %q — earlier evidence was clobbered", want[i], got, content)
+		}
+	}
+}
+
+// QuarantineCopy preserves evidence without touching the original (the
+// live-artifact mode) and respects the same collision suffixes.
+func TestQuarantineCopyKeepsOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger")
+	if err := os.WriteFile(path, []byte("live bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dst1, err := QuarantineCopy(path, []byte("as-read-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst2, err := QuarantineCopy(path, []byte("as-read-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst1 != path+".corrupt" || dst2 != path+".corrupt.1" {
+		t.Fatalf("copies went to %s, %s", dst1, dst2)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "live bytes" {
+		t.Fatalf("original mutated to %q", got)
+	}
+	if got, _ := os.ReadFile(dst1); string(got) != "as-read-1" {
+		t.Fatalf("first copy holds %q", got)
+	}
+	if got, _ := os.ReadFile(dst2); string(got) != "as-read-2" {
+		t.Fatalf("second copy holds %q", got)
+	}
+}

@@ -207,26 +207,18 @@ func (f *Follower) SyncOnce(ctx context.Context) error {
 			f.cfg.Peer, f.store.Generation()))
 	}
 
-	// Reconcile each catalog entry against what is already vouched for:
-	// the serving store first (no disk I/O in the common case), then the
-	// file on disk (a restarted follower re-adopts its old files for
-	// free), and only then the network.
-	local := make(map[string]*ReleaseSource)
-	rels, _ := f.store.Snapshot()
-	for _, rel := range rels {
-		if rel.Source != nil {
-			local[rel.Name] = rel.Source
-		}
-	}
+	// Reconcile each catalog entry against the bytes actually on disk —
+	// never against the serving store's remembered checksum. The store
+	// hashed the file at load time; vouching from that memory would adopt
+	// an installed file that has rotted since (bit flips do not announce
+	// themselves), and the whole point of re-verifying is to catch
+	// exactly that. Reconcile only runs when the follower is behind, so
+	// the re-hash cost is off the steady-state path. A restarted follower
+	// still re-adopts its old files for free: the disk hash matches.
 	specs := make([]LoadSpec, 0, len(cat.Files))
 	for _, cf := range cat.Files {
 		dest := filepath.Join(f.cfg.Dir, cf.File)
-		vouched := false
-		if src, ok := local[cf.Name]; ok && src.Path == dest && src.Size == cf.Size && src.CRC == cf.CRC {
-			vouched = true
-		} else if ok, _ := fileMatches(dest, cf.Size, cf.CRC); ok {
-			vouched = true
-		}
+		vouched, _ := fileMatches(dest, cf.Size, cf.CRC)
 		if !vouched {
 			if err := f.fetchFile(ctx, cf, dest); err != nil {
 				return f.markFailed(err)
@@ -411,6 +403,35 @@ func (f *Follower) copyBody(ctx context.Context, cf CatalogFile, partial string,
 		return fmt.Errorf("serve: follower: syncing partial for %s: %w", cf.Name, err)
 	}
 	return nil
+}
+
+// RepairFile re-fetches the artifact at path from the peer's catalog
+// through the same verified transfer a sync uses (Range resume, CRC
+// check over the on-disk bytes, atomic rename) — the replica-assisted
+// repair the integrity scrubber and stpt-doctor invoke after
+// quarantining a damaged file. The peer must still advertise the file;
+// one it no longer carries cannot be repaired from this peer.
+func (f *Follower) RepairFile(ctx context.Context, path string) error {
+	if err := resilience.Fire(ctx, resilience.FaultRepairFetch, path); err != nil {
+		return fmt.Errorf("serve: follower: repairing %s: %w", path, err)
+	}
+	cat, err := f.fetchCatalog(ctx)
+	if err != nil {
+		return fmt.Errorf("serve: follower: repairing %s: %w", path, err)
+	}
+	base := filepath.Base(path)
+	for _, cf := range cat.Files {
+		if cf.File != base {
+			continue
+		}
+		dest := filepath.Join(f.cfg.Dir, cf.File)
+		if err := f.fetchFile(ctx, cf, dest); err != nil {
+			return fmt.Errorf("serve: follower: repairing %s: %w", path, err)
+		}
+		f.logf("serve: event=repair outcome=ok file=%s peer=%s", cf.File, f.cfg.Peer)
+		return nil
+	}
+	return fmt.Errorf("serve: follower: repairing %s: peer %s no longer advertises it", path, f.cfg.Peer)
 }
 
 // partialSize returns the partial file's current size, or 0.

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/resilience"
+)
+
+// A release that rotted on disk between follower runs must be
+// re-fetched, not adopted: startup vouching hashes the installed bytes,
+// never trusts a remembered checksum.
+func TestFollowerRefetchesCorruptInstalledFile(t *testing.T) {
+	ctx := context.Background()
+	leader := newLeader(t, ctx, map[string]*grid.Matrix{"rel": bigMatrix()})
+	f, _, dir := newFollowerHarness(t, leader, ctx)
+	if err := f.SyncOnce(ctx); err != nil {
+		t.Fatalf("initial sync: %v", err)
+	}
+
+	// Rot one byte of the installed file while the follower is "down".
+	rels, _ := leader.store.Snapshot()
+	installed := filepath.Join(dir, filepath.Base(rels[0].Source.Path))
+	raw, err := os.ReadFile(installed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x08
+	if err := os.WriteFile(installed, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh follower process over the same directory: the catalog
+	// generation is new to it, so it reconciles — and the damaged file
+	// must fail the vouch and be fetched again.
+	before := leader.fileFetches.Load()
+	store2 := NewStore()
+	f2, err := NewFollower(store2, FollowerConfig{
+		Peer: leader.ts.URL, Dir: dir, Retry: f.cfg.Retry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.SyncOnce(ctx); err != nil {
+		t.Fatalf("restart sync over a rotted file: %v", err)
+	}
+	if got := leader.fileFetches.Load() - before; got != 1 {
+		t.Fatalf("restart fetched %d files, want exactly the rotted one", got)
+	}
+	size, crc := fileCRC32C(t, installed)
+	if size != rels[0].Source.Size || crc != rels[0].Source.CRC {
+		t.Fatalf("installed file %d/%08x after refetch, leader has %d/%08x",
+			size, crc, rels[0].Source.Size, rels[0].Source.CRC)
+	}
+}
+
+// RepairFile restores one named artifact from the peer's catalog
+// byte-identically, and surfaces a refusing peer through the
+// FaultRepairFetch injection point.
+func TestFollowerRepairFile(t *testing.T) {
+	ctx := context.Background()
+	leader := newLeader(t, ctx, map[string]*grid.Matrix{"rel": bigMatrix()})
+	f, _, dir := newFollowerHarness(t, leader, ctx)
+	if err := f.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rels, _ := leader.store.Snapshot()
+	installed := filepath.Join(dir, filepath.Base(rels[0].Source.Path))
+	if err := os.WriteFile(installed, []byte("rot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unreachable peer (simulated at the fault point) leaves the
+	// damage in place.
+	inj := resilience.NewInjector()
+	inj.On(resilience.FaultRepairFetch, func(context.Context, any) error {
+		return errors.New("injected: peer down")
+	})
+	if err := f.RepairFile(resilience.WithInjector(ctx, inj), installed); err == nil {
+		t.Fatal("repair through a down peer succeeded")
+	}
+
+	if err := f.RepairFile(ctx, installed); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	size, crc := fileCRC32C(t, installed)
+	if size != rels[0].Source.Size || crc != rels[0].Source.CRC {
+		t.Fatalf("repaired file %d/%08x, leader has %d/%08x", size, crc, rels[0].Source.Size, rels[0].Source.CRC)
+	}
+
+	// A path the peer no longer advertises cannot be repaired from it.
+	err := f.RepairFile(ctx, filepath.Join(dir, "ghost.csv"))
+	if err == nil || !strings.Contains(err.Error(), "no longer advertises") {
+		t.Fatalf("ghost repair: %v", err)
+	}
+}

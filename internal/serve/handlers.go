@@ -95,9 +95,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // loop that caused the saturation.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	f := s.follower.Load()
+	corrupt := s.corruptArtifacts()
 	switch {
 	case s.draining.Load():
 		writeError(w, http.StatusServiceUnavailable, "draining")
+	case len(corrupt) > 0:
+		// The at-rest scrubber found damage no repair has cleared: the
+		// balancer must stop routing here — this replica would serve (or
+		// 404) the damaged generation — until a repair or operator
+		// intervention clears the latch.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":    "corrupt",
+			"artifact":  corrupt[0],
+			"artifacts": corrupt,
+		})
 	case f != nil && s.store.Len() == 0:
 		writeError(w, http.StatusServiceUnavailable, "awaiting first sync from "+f.Status().Peer)
 	case f == nil && s.initialLoadFailed.Load():
@@ -122,6 +133,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, body)
 	}
+}
+
+// corruptArtifacts returns the scrubber's latched corrupt set, nil
+// without one.
+func (s *Server) corruptArtifacts() []string {
+	src := s.Integrity()
+	if src == nil {
+		return nil
+	}
+	return src.CorruptArtifacts()
 }
 
 // handleDatasets lists the loaded releases and their dimensions.

@@ -42,7 +42,23 @@ type Server struct {
 	// balancer may send traffic again. A *failed* reload never sets it:
 	// the old generation is still serving.
 	initialLoadFailed atomic.Bool
+	// integrity, when set, feeds the at-rest scrubber's latched corrupt
+	// set into /readyz and its counters into /metrics.
+	integrity atomic.Pointer[integrityBox]
 }
+
+// IntegritySource is what the serving tier needs from an integrity
+// scrubber: the latched corrupt artifacts (readiness) and the lifetime
+// pass counters (metrics). *scrub.Scrubber implements it; the interface
+// lives here so serve does not import scrub.
+type IntegritySource interface {
+	CorruptArtifacts() []string
+	ScrubCounts() (passes, corruptFound, repaired, quarantined uint64)
+}
+
+// integrityBox wraps the interface for atomic.Pointer (which needs a
+// concrete type).
+type integrityBox struct{ src IntegritySource }
 
 // New builds a Server. ctx is the value context requests inherit — pass
 // one carrying a resilience.Injector to enable fault injection; its
@@ -67,6 +83,21 @@ func (s *Server) SetFollower(f *Follower) { s.follower.Store(f) }
 
 // Follower returns the replica's follower, or nil on a leader.
 func (s *Server) Follower() *Follower { return s.follower.Load() }
+
+// SetIntegrity attaches the scrubber whose corrupt-artifact latch gates
+// /readyz and whose counters appear on /metrics. Call before traffic
+// starts; the caller owns running the scrubber.
+func (s *Server) SetIntegrity(src IntegritySource) {
+	s.integrity.Store(&integrityBox{src: src})
+}
+
+// Integrity returns the attached integrity source, or nil.
+func (s *Server) Integrity() IntegritySource {
+	if b := s.integrity.Load(); b != nil {
+		return b.src
+	}
+	return nil
+}
 
 // Draining reports whether the server has begun graceful shutdown.
 func (s *Server) Draining() bool { return s.draining.Load() }
